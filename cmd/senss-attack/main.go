@@ -1,0 +1,56 @@
+// Command senss-attack runs the canned bus-attack scenarios of paper §3
+// and §4.3 — the §3.1 pad-reuse break, Type 1 dropping, Type 2
+// reordering (plus the strawman that misses it), Type 3 spoofing and
+// replay — and reports whether each is detected as the paper predicts.
+//
+// Example:
+//
+//	senss-attack -seed 42
+//	senss-attack -scenario type1-drop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"senss/internal/attack"
+)
+
+func main() {
+	var (
+		seed = flag.Uint64("seed", 2025, "scenario randomness seed")
+		only = flag.String("scenario", "", "run a single named scenario")
+		list = flag.Bool("list", false, "list scenarios and exit")
+	)
+	flag.Parse()
+
+	scenarios := attack.Scenarios()
+	if *list {
+		for _, sc := range scenarios {
+			fmt.Printf("%-26s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+
+	failures := 0
+	for _, sc := range scenarios {
+		if *only != "" && sc.Name != *only {
+			continue
+		}
+		rep := sc.Run(*seed)
+		fmt.Printf("=== %s ===\n", sc.Name)
+		fmt.Printf("    %s\n", sc.Description)
+		for _, d := range rep.Details {
+			fmt.Printf("    • %s\n", d)
+		}
+		fmt.Printf("    verdict: %s\n\n", rep.Verdict())
+		if !rep.OK() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "senss-attack: %d scenario(s) deviated from the paper's prediction\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,28 @@
+// Command senss-hwcost evaluates the §7.1 hardware-overhead arithmetic of
+// the SENSS security hardware unit for a configurable machine size.
+//
+// Example:
+//
+//	senss-hwcost -groups 1024 -procs 32 -masks 8
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"senss/internal/core"
+)
+
+func main() {
+	p := core.DefaultHWCost()
+	flag.IntVar(&p.MaxGroups, "groups", p.MaxGroups, "group info table entries")
+	flag.IntVar(&p.MaxProcs, "procs", p.MaxProcs, "maximum processors")
+	flag.IntVar(&p.MaskCount, "masks", p.MaskCount, "masks stored per group entry")
+	flag.IntVar(&p.CounterBits, "ctrbits", p.CounterBits, "authentication counter bits")
+	flag.IntVar(&p.BaseBusLines, "buslines", p.BaseBusLines, "base bus line count (Gigaplane: 378)")
+	flag.Parse()
+
+	fmt.Println("SENSS SHU hardware overhead (paper §7.1)")
+	fmt.Println("----------------------------------------")
+	fmt.Println(core.ComputeHWCost(p))
+}

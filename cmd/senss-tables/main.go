@@ -1,0 +1,99 @@
+// Command senss-tables regenerates the paper's evaluation artifacts
+// (Figures 6-11) as text tables, plus the §7.1 hardware-cost numbers.
+//
+// Examples:
+//
+//	senss-tables -fig 6
+//	senss-tables -fig all -size bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"senss"
+	"senss/internal/core"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, hw, detect, scale, or all")
+		size     = flag.String("size", "test", "problem scale: test (fast) or bench (larger)")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	)
+	flag.Parse()
+
+	scale := senss.SizeTest
+	if *size == "bench" {
+		scale = senss.SizeBench
+	} else if *size != "test" {
+		fmt.Fprintf(os.Stderr, "senss-tables: unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	h := senss.NewHarness(scale)
+	figures := []int{6, 7, 8, 9, 10, 11}
+	switch *fig {
+	case "all":
+	case "hw":
+		printHW()
+		return
+	case "scale":
+		tables, err := h.Scalability()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senss-tables: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(render(t, *markdown))
+		}
+		return
+	case "detect":
+		tables, err := h.DetectionLatency(6)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senss-tables: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(render(t, *markdown))
+		}
+		return
+	default:
+		var n int
+		if _, err := fmt.Sscanf(*fig, "%d", &n); err != nil {
+			fmt.Fprintf(os.Stderr, "senss-tables: bad figure %q\n", *fig)
+			os.Exit(2)
+		}
+		figures = []int{n}
+	}
+
+	for _, n := range figures {
+		tables, err := h.Figure(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senss-tables: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(render(t, *markdown))
+		}
+	}
+	if *fig == "all" {
+		printHW()
+	}
+}
+
+// render picks the output format.
+func render(t *senss.Table, markdown bool) string {
+	if markdown {
+		return t.Markdown()
+	}
+	return t.Render()
+}
+
+func printHW() {
+	fmt.Println("§7.1 — SHU hardware overhead")
+	fmt.Println("----------------------------")
+	fmt.Println(core.ComputeHWCost(core.DefaultHWCost()))
+	fmt.Println()
+}

@@ -1,0 +1,59 @@
+// Command senss-trace analyzes a bus trace recorded with
+// `senss-sim -trace file.jsonl`: summary, per-kind/per-CPU breakdown, the
+// hottest (most contended) cache lines, and the inter-transaction gap
+// histogram the adaptive authentication controller keys on.
+//
+//	senss-sim -workload radix -mode senss -trace /tmp/radix.jsonl
+//	senss-trace /tmp/radix.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"senss/internal/trace"
+)
+
+func main() {
+	top := flag.Int("top", 10, "how many hot lines to show")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: senss-trace [-top N] <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "senss-trace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "senss-trace:", err)
+		os.Exit(1)
+	}
+
+	trace.Summarize(events).Format(os.Stdout)
+
+	fmt.Printf("\nhottest lines (top %d):\n", *top)
+	fmt.Printf("  %-12s %8s %8s %s\n", "address", "accesses", "c2c", "requesters")
+	for _, h := range trace.HotLines(events, *top) {
+		fmt.Printf("  %#-12x %8d %8d %d\n", h.Addr, h.Accesses, h.C2C, h.Requesters)
+	}
+
+	fmt.Println("\ninter-transaction gap histogram (cycles, power-of-two buckets):")
+	hist := trace.GapHistogram(events)
+	maxBucket := 0
+	for b := range hist {
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	for b := 0; b <= maxBucket; b++ {
+		if hist[b] == 0 {
+			continue
+		}
+		fmt.Printf("  [%6d, %6d)  %d\n", 1<<b, 1<<(b+1), hist[b])
+	}
+}

@@ -1,0 +1,119 @@
+// Command senss-verify runs the full reproduction checklist in one shot:
+// every workload validated under every security mode, the MOESI
+// invariants, every attack scenario, and the §7.1 arithmetic. It is the
+// release smoke test — a green run means the repository reproduces the
+// paper's functional claims on this machine.
+//
+//	senss-verify            # ~15s
+//	senss-verify -quick     # subset, ~3s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"senss"
+	"senss/internal/attack"
+	"senss/internal/core"
+)
+
+var failures int
+
+func check(area, name string, err error) {
+	if err != nil {
+		failures++
+		fmt.Printf("✘ %-12s %-28s %v\n", area, name, err)
+		return
+	}
+	fmt.Printf("✔ %-12s %s\n", area, name)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run a reduced checklist")
+	flag.Parse()
+	start := time.Now()
+
+	workloads := senss.WorkloadNames()
+	baseCfg := senss.DefaultConfig()
+	baseCfg.Procs = 4
+	baseCfg.Coherence.L1Size = 4 << 10
+	baseCfg.Coherence.L2Size = 32 << 10
+
+	if *quick {
+		workloads = []string{"radix", "ocean", "lockcontend"}
+	}
+
+	// 1. Workload correctness per security mode. RunWorkload validates
+	// the computed result and fails on any false alarm.
+	for _, name := range workloads {
+		cfg := baseCfg
+		check("baseline", name, run(name, cfg))
+
+		cfg.Security.Mode = senss.SecurityBus
+		cfg.Security.Senss.AuthInterval = 32
+		check("senss", name, run(name, cfg))
+
+		if !*quick {
+			cfg.Security.Mode = senss.SecurityBusMem
+			cfg.Security.Integrity = true
+			check("senss+mem", name, run(name, cfg))
+		}
+	}
+
+	// 2. GCM-style extension mode.
+	gfCfg := baseCfg
+	gfCfg.Security.Mode = senss.SecurityBus
+	gfCfg.Security.Senss.AuthMode = senss.AuthGF
+	gfCfg.Security.Senss.Perfect = false
+	gfCfg.Security.Senss.Masks = 1
+	check("authgf", "radix (1 mask, no stalls)", run("radix", gfCfg))
+
+	// 3. Attack scenarios: every verdict must match the paper.
+	for _, sc := range attack.Scenarios() {
+		rep := sc.Run(2025)
+		var err error
+		if !rep.OK() {
+			err = fmt.Errorf("verdict: %s", rep.Verdict())
+		}
+		check("attack", sc.Name, err)
+	}
+
+	// 4. §7.1 arithmetic.
+	h := core.ComputeHWCost(core.DefaultHWCost())
+	var hwErr error
+	if h.MatrixBytes != 640 || h.EntryBits != 1161 || h.TableBytes != 148608 {
+		hwErr = fmt.Errorf("got %d B / %d bits / %d B", h.MatrixBytes, h.EntryBits, h.TableBytes)
+	}
+	check("hwcost", "matrix 640B, entry 1161b, table 148.6KB", hwErr)
+
+	fmt.Printf("\n%d failure(s) in %.1fs\n", failures, time.Since(start).Seconds())
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// run executes and validates one workload, checking invariants afterwards.
+func run(name string, cfg senss.Config) error {
+	w, err := senss.NewWorkload(name, senss.SizeTest)
+	if err != nil {
+		return err
+	}
+	m := senss.NewMachine(cfg)
+	progs := w.Setup(m, cfg.Procs)
+	if _, err := m.Run(progs); err != nil {
+		return err
+	}
+	if halted, why := m.Halted(); halted {
+		return fmt.Errorf("false alarm: %s", why)
+	}
+	if err := w.Validate(m); err != nil {
+		return err
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return err
+	}
+	m.Shutdown()
+	return nil
+}

@@ -1,0 +1,41 @@
+// Quickstart: run one SPLASH2 kernel on the simulated SMP with and
+// without SENSS, and print the paper's two headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"senss"
+)
+
+func main() {
+	// The paper's Figure 5 machine, scaled caches for the test-size
+	// problem (see DESIGN.md §2 on proportional scaling).
+	cfg := senss.DefaultConfig()
+	cfg.Procs = 4
+	cfg.Coherence.L1Size = 4 << 10
+	cfg.Coherence.L2Size = 64 << 10
+
+	// Highest security level: authenticate every 100 cache-to-cache
+	// transfers with a full mask supply.
+	cfg.Security.Mode = senss.SecurityBus
+	cfg.Security.Senss.AuthInterval = 100
+	cfg.Security.Senss.Perfect = true
+
+	for _, name := range senss.PaperSuite() {
+		base, secure, err := senss.Compare(name, senss.SizeTest, cfg)
+		if err != nil {
+			log.Fatalf("quickstart: %v", err)
+		}
+		fmt.Printf("%-8s base %10d cycles | senss %10d cycles | slowdown %6.3f%% | traffic +%6.3f%% | %d auth msgs\n",
+			name, base.Cycles, secure.Cycles,
+			senss.SlowdownPct(base, secure),
+			senss.TrafficIncreasePct(base, secure),
+			secure.AuthMsgs)
+	}
+	fmt.Println("\nEvery kernel's output is validated against a host-side reference;")
+	fmt.Println("a wrong result or a false security alarm would have failed the run.")
+}

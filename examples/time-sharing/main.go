@@ -1,0 +1,100 @@
+// Time-sharing with encrypted context swaps (paper §4.2): two
+// applications alternate on the same processors. At every quantum the
+// outgoing group is stopped at instruction boundaries, each SHU's session
+// context (mask banks, chain state) is encrypted and authenticated under
+// the session key, and the incoming group's contexts are restored — the
+// OS schedules but only ever touches opaque blobs.
+//
+//	go run ./examples/time-sharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"senss"
+	"senss/internal/cpu"
+)
+
+func main() {
+	cfg := senss.DefaultConfig()
+	cfg.Procs = 2
+	cfg.Coherence.L1Size = 4 << 10
+	cfg.Coherence.L2Size = 32 << 10
+	cfg.Security.Mode = senss.SecurityBus
+	cfg.Security.Senss.AuthInterval = 16
+
+	m := senss.NewMachine(cfg)
+
+	// Application A: a streaming producer/consumer pair.
+	// Application B: per-processor checksum loops.
+	appA, handoff := buildStream(m)
+	appB, sums := buildChecksum(m)
+
+	run, err := m.RunTimeShared(appA, appB, 15_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if halted, why := m.Halted(); halted {
+		log.Fatalf("alarm during time-sharing: %s", why)
+	}
+
+	fmt.Printf("context switches: %d (each: quiesce → encrypt contexts → restore → retag)\n", m.SwapCount)
+	fmt.Printf("app A streamed:   %d items (checksum ok: %v)\n",
+		m.ReadWord(handoff), m.ReadWord(handoff) == 400)
+	fmt.Printf("app B checksums:  %d and %d\n", m.ReadWord(sums[0]), m.ReadWord(sums[1]))
+	fmt.Printf("cycles: %d, bus txns: %d, auth broadcasts: %d\n",
+		run.Cycles, run.BusTotal, run.AuthMsgs)
+	fmt.Println("\nBoth groups' MAC chains survived every swap — a single corrupted")
+	fmt.Println("context blob would have halted the machine at swap-in.")
+}
+
+// buildStream: proc 0 produces 400 items, proc 1 consumes and counts.
+func buildStream(m *senss.Machine) ([]cpu.Program, uint64) {
+	const items = 400
+	slot := m.Alloc(64)
+	ack := m.Alloc(64)
+	count := m.Alloc(64)
+	progs := make([]cpu.Program, 2)
+	progs[0] = func(c *cpu.Port) {
+		for i := uint64(1); i <= items; i++ {
+			c.Store(slot, i)
+			for c.Load(ack) != i {
+				c.Think(15)
+			}
+		}
+	}
+	progs[1] = func(c *cpu.Port) {
+		for i := uint64(1); i <= items; i++ {
+			for c.Load(slot) != i {
+				c.Think(15)
+			}
+			c.Store(count, c.Load(count)+1)
+			c.Store(ack, i)
+		}
+	}
+	return progs, count
+}
+
+// buildChecksum: each proc folds a private array into a checksum word.
+func buildChecksum(m *senss.Machine) ([]cpu.Program, []uint64) {
+	const words = 512
+	progs := make([]cpu.Program, 2)
+	sums := make([]uint64, 2)
+	for tid := 0; tid < 2; tid++ {
+		arr := m.Alloc(words * 8)
+		sum := m.Alloc(64)
+		sums[tid] = sum
+		for i := uint64(0); i < words; i++ {
+			m.InitWord(arr+i*8, i*(uint64(tid)+3))
+		}
+		progs[tid] = func(c *cpu.Port) {
+			var acc uint64
+			for i := uint64(0); i < words; i++ {
+				acc += c.Load(arr + i*8)
+			}
+			c.Store(sum, acc)
+		}
+	}
+	return progs, sums
+}

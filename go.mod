@@ -1,0 +1,3 @@
+module senss
+
+go 1.22

@@ -1,0 +1,43 @@
+package senss
+
+import "testing"
+
+// TestGoldenCycleCounts pins exact cycle counts for one canonical
+// configuration. The simulator is deterministic, so any change to these
+// numbers means the timing model changed — which must be a deliberate,
+// documented decision (update EXPERIMENTS.md alongside this test), never
+// an accident.
+func TestGoldenCycleCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Procs = 4
+	cfg.Coherence.L1Size = 4 << 10
+	cfg.Coherence.L2Size = 64 << 10
+	cfg.CPU.CodeBytes = 2 << 10
+	cfg.Security.Mode = SecurityBus
+	cfg.Security.Senss.Perfect = true
+	cfg.Security.Senss.AuthInterval = 100
+
+	base, sec, err := Compare("falseshare", SizeTest, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recorded from the reference run (seed 1). See EXPERIMENTS.md.
+	const (
+		wantBaseCycles = 50895
+		wantSecCycles  = 56078
+	)
+	if base.Cycles != wantBaseCycles {
+		t.Errorf("baseline cycles = %d, want %d — the timing model changed; "+
+			"if intentional, re-record EXPERIMENTS.md and this golden value",
+			base.Cycles, wantBaseCycles)
+	}
+	if sec.Cycles != wantSecCycles {
+		t.Errorf("SENSS cycles = %d, want %d — the timing model changed; "+
+			"if intentional, re-record EXPERIMENTS.md and this golden value",
+			sec.Cycles, wantSecCycles)
+	}
+	if sec.BusTotal <= 0 || sec.AuthMsgs == 0 {
+		t.Errorf("implausible secured run: %+v", sec)
+	}
+}

@@ -1,0 +1,186 @@
+// Package attack implements the physical bus adversaries of paper §3.2 —
+// message dropping (Type 1), reordering (Type 2), spoofing/replay
+// (Type 3) — as core.Tamperer interposers, plus canned end-to-end
+// scenarios that demonstrate detection (or, for the strawman schemes, the
+// lack of it). cmd/senss-attack and examples/attack-detection drive them.
+package attack
+
+import (
+	"senss/internal/core"
+	"senss/internal/crypto/aes"
+)
+
+// Wiretap passively records every ciphertext on the bus — the baseline
+// adversary capability every other attack builds on.
+type Wiretap struct {
+	Ciphers [][]aes.Block
+	Senders []int
+}
+
+// Tamper implements core.Tamperer (observation only).
+func (w *Wiretap) Tamper(seq uint64, sender int, cipher []aes.Block) map[int][]core.Observed {
+	cp := make([]aes.Block, len(cipher))
+	copy(cp, cipher)
+	w.Ciphers = append(w.Ciphers, cp)
+	w.Senders = append(w.Senders, sender)
+	return nil
+}
+
+// Dropper blocks messages destined to the victim processors: the first
+// FromSeq-th eligible broadcast never reaches them (Type 1).
+type Dropper struct {
+	Victims []int
+	FromSeq uint64
+	Count   int // how many messages to drop (0 = one)
+
+	dropped int
+	// LandedSeq is the sequence number of the first drop (-1 until then).
+	LandedSeq int64
+}
+
+// Dropped reports how many messages were suppressed.
+func (d *Dropper) Dropped() int { return d.dropped }
+
+// Tamper implements core.Tamperer.
+func (d *Dropper) Tamper(seq uint64, sender int, cipher []aes.Block) map[int][]core.Observed {
+	limit := d.Count
+	if limit == 0 {
+		limit = 1
+	}
+	if d.dropped >= limit || seq < d.FromSeq {
+		return nil
+	}
+	m := make(map[int][]core.Observed)
+	hit := false
+	for _, v := range d.Victims {
+		if v == sender {
+			continue // a sender never receives its own broadcast anyway
+		}
+		m[v] = nil
+		hit = true
+	}
+	if !hit {
+		return nil
+	}
+	if d.dropped == 0 {
+		d.LandedSeq = int64(seq)
+	}
+	d.dropped++
+	return m
+}
+
+// Swapper holds one broadcast back and delivers it after the next one, to
+// every receiver — the Type 2 adjacent-swap reordering of §4.3.
+type Swapper struct {
+	AtSeq uint64
+	Procs int
+
+	held *core.Observed
+	done bool
+}
+
+// Tamper implements core.Tamperer.
+func (s *Swapper) Tamper(seq uint64, sender int, cipher []aes.Block) map[int][]core.Observed {
+	cp := make([]aes.Block, len(cipher))
+	copy(cp, cipher)
+	if !s.done && seq == s.AtSeq {
+		s.held = &core.Observed{Cipher: cp, Sender: sender}
+		m := make(map[int][]core.Observed)
+		for pid := 0; pid < s.Procs; pid++ {
+			m[pid] = nil // held: nobody sees it this round
+		}
+		return m
+	}
+	if s.held != nil {
+		held := *s.held
+		s.held = nil
+		s.done = true
+		m := make(map[int][]core.Observed)
+		for pid := 0; pid < s.Procs; pid++ {
+			m[pid] = []core.Observed{{Cipher: cp, Sender: sender}, held}
+		}
+		return m
+	}
+	return nil
+}
+
+// Spoofer injects a fabricated message claiming ClaimedPID, delivered only
+// to the victim, right after broadcast AtSeq (Type 3).
+type Spoofer struct {
+	AtSeq      uint64
+	Victim     int
+	ClaimedPID int
+	Payload    []aes.Block
+
+	done bool
+}
+
+// Tamper implements core.Tamperer.
+func (s *Spoofer) Tamper(seq uint64, sender int, cipher []aes.Block) map[int][]core.Observed {
+	cp := make([]aes.Block, len(cipher))
+	copy(cp, cipher)
+	if s.done || seq != s.AtSeq {
+		return nil
+	}
+	s.done = true
+	return map[int][]core.Observed{
+		s.Victim: {
+			{Cipher: cp, Sender: sender},
+			{Cipher: s.Payload, Sender: s.ClaimedPID},
+		},
+	}
+}
+
+// Replayer captures broadcast CaptureSeq and re-delivers it to the victim
+// after broadcast ReplaySeq (a Type 3 replay).
+type Replayer struct {
+	CaptureSeq uint64
+	ReplaySeq  uint64
+	Victim     int
+
+	captured *core.Observed
+	done     bool
+}
+
+// Tamper implements core.Tamperer.
+func (r *Replayer) Tamper(seq uint64, sender int, cipher []aes.Block) map[int][]core.Observed {
+	cp := make([]aes.Block, len(cipher))
+	copy(cp, cipher)
+	if seq == r.CaptureSeq {
+		r.captured = &core.Observed{Cipher: cp, Sender: sender}
+		return nil
+	}
+	if !r.done && seq >= r.ReplaySeq && r.captured != nil && sender != r.Victim {
+		r.done = true
+		return map[int][]core.Observed{
+			r.Victim: {{Cipher: cp, Sender: sender}, *r.captured},
+		}
+	}
+	return nil
+}
+
+// Corruptor flips bits in one broadcast for the victim receivers (a
+// direct data-integrity attack on the wire).
+type Corruptor struct {
+	AtSeq   uint64
+	Victims []int
+	Mask    byte
+
+	done bool
+}
+
+// Tamper implements core.Tamperer.
+func (c *Corruptor) Tamper(seq uint64, sender int, cipher []aes.Block) map[int][]core.Observed {
+	if c.done || seq != c.AtSeq {
+		return nil
+	}
+	c.done = true
+	bad := make([]aes.Block, len(cipher))
+	copy(bad, cipher)
+	bad[0][0] ^= c.Mask
+	m := make(map[int][]core.Observed)
+	for _, v := range c.Victims {
+		m[v] = []core.Observed{{Cipher: bad, Sender: sender}}
+	}
+	return m
+}

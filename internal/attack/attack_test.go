@@ -1,0 +1,65 @@
+package attack
+
+import "testing"
+
+// TestAllScenariosMatchPaperPredictions runs every canned attack and
+// requires the outcome the paper argues for: SENSS detects the real
+// attacks, and the strawman demonstrations show their documented flaws.
+func TestAllScenariosMatchPaperPredictions(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep := sc.Run(12345)
+			if !rep.Attacked {
+				t.Fatalf("%s never attacked", sc.Name)
+			}
+			if !rep.OK() {
+				t.Errorf("%s: detected=%v want=%v (%s)\ndetails: %v",
+					sc.Name, rep.Detected, rep.WantDetect, rep.Verdict(), rep.Details)
+			}
+		})
+	}
+}
+
+// TestScenariosAreSeedRobust re-runs everything under different seeds.
+func TestScenariosAreSeedRobust(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 999} {
+		for _, sc := range Scenarios() {
+			rep := sc.Run(seed)
+			if !rep.OK() {
+				t.Errorf("seed %d, %s: detected=%v want=%v", seed, sc.Name, rep.Detected, rep.WantDetect)
+			}
+		}
+	}
+}
+
+func TestDropperSkipsSender(t *testing.T) {
+	d := &Dropper{Victims: []int{0}, FromSeq: 0}
+	// Sender 0 equals the only victim: nothing to drop.
+	if m := d.Tamper(0, 0, nil); m != nil {
+		t.Error("dropped the sender's own view")
+	}
+	if d.Dropped() != 0 {
+		t.Error("counted a non-drop")
+	}
+	if m := d.Tamper(1, 2, nil); m == nil {
+		t.Error("failed to drop for a real victim")
+	}
+}
+
+func TestReportVerdictStrings(t *testing.T) {
+	cases := []struct {
+		rep  Report
+		want string
+	}{
+		{Report{Detected: true, WantDetect: true}, "DETECTED (as designed)"},
+		{Report{Detected: false, WantDetect: false}, "UNDETECTED (the strawman's flaw, as the paper argues)"},
+		{Report{Detected: false, WantDetect: true}, "MISSED — SENSS should have caught this"},
+		{Report{Detected: true, WantDetect: false}, "UNEXPECTED DETECTION"},
+	}
+	for _, c := range cases {
+		if got := c.rep.Verdict(); got != c.want {
+			t.Errorf("Verdict() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package attack
+
+import "senss/internal/bus"
+
+// c2cTransaction fabricates a synthetic cache-to-cache bus transfer for
+// protocol-level scenario drives (no simulated machine involved).
+func c2cTransaction(gid, sender, requester int, line []byte) *bus.Transaction {
+	data := append([]byte(nil), line...)
+	t := &bus.Transaction{Kind: bus.Rd, Addr: 0x1000, Src: requester, GID: gid, Data: data}
+	t.SupplierID = sender
+	return t
+}

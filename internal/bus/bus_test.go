@@ -1,0 +1,271 @@
+package bus
+
+import (
+	"testing"
+
+	"senss/internal/mem"
+	"senss/internal/sim"
+)
+
+func testTiming() Timing {
+	return Timing{BusCycle: 10, C2CLat: 120, MemLat: 180, BytesPerBusCycle: 32, LineBytes: 64}
+}
+
+func TestOccupancy(t *testing.T) {
+	tm := testTiming()
+	if got := tm.Occupancy(Rd); got != 20 { // 64B / 32B-per-cycle × 10
+		t.Errorf("data occupancy = %d, want 20", got)
+	}
+	for _, k := range []Kind{Upgr, Auth, PadInv, PadReq} {
+		if got := tm.Occupancy(k); got != 10 {
+			t.Errorf("%v occupancy = %d, want 10", k, got)
+		}
+	}
+}
+
+func TestLatencySelectsSupplier(t *testing.T) {
+	tm := testTiming()
+	c2c := &Transaction{Kind: Rd, SupplierID: 2}
+	if got := tm.Latency(c2c); got != 120 {
+		t.Errorf("c2c latency = %d", got)
+	}
+	memT := &Transaction{Kind: Rd, SupplierID: MemorySupplier}
+	if got := tm.Latency(memT); got != 180 {
+		t.Errorf("memory latency = %d", got)
+	}
+}
+
+func TestKindStringsAndData(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !Rd.HasData() || !RdX.HasData() || !WB.HasData() {
+		t.Error("data kinds misreported")
+	}
+	if Upgr.HasData() || Auth.HasData() {
+		t.Error("address-only kinds misreported")
+	}
+}
+
+func TestCacheToCacheClassification(t *testing.T) {
+	c2c := &Transaction{Kind: Rd, SupplierID: 1}
+	if !c2c.CacheToCache() {
+		t.Error("cache-supplied Rd not classified c2c")
+	}
+	memT := &Transaction{Kind: Rd, SupplierID: MemorySupplier}
+	if memT.CacheToCache() {
+		t.Error("memory fill classified c2c")
+	}
+	wb := &Transaction{Kind: WB, SupplierID: 1}
+	if wb.CacheToCache() {
+		t.Error("WB classified c2c")
+	}
+}
+
+// recordingSnooper notes the order it was snooped in.
+type recordingSnooper struct {
+	id    int
+	order *[]int
+}
+
+func (r *recordingSnooper) SnoopBus(t *Transaction) {
+	*r.order = append(*r.order, r.id)
+}
+
+func TestSnoopOrderAndMemoryFallback(t *testing.T) {
+	e := sim.NewEngine()
+	store := mem.New()
+	store.WriteWord(0x100, 77)
+	b := New(e, testTiming(), &SimpleMemory{Backing: store})
+	var order []int
+	b.AttachSnooper(&recordingSnooper{0, &order})
+	b.AttachSnooper(&recordingSnooper{1, &order})
+
+	var got uint64
+	e.Spawn("req", func(p *sim.Proc) {
+		txn := &Transaction{Kind: Rd, Addr: 0x100, Src: 0}
+		b.Transact(p, txn)
+		got = mem.ReadWordFromLine(txn.Data, 0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Errorf("memory fallback returned %d", got)
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("snoop order %v", order)
+	}
+	if b.Stats.MemCount != 1 || b.Stats.C2CCount != 0 {
+		t.Errorf("supply classification wrong: %+v", b.Stats)
+	}
+}
+
+func TestArbitrationSerializesAndIsFIFO(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, testTiming(), &SimpleMemory{Backing: mem.New()})
+	var grants []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("req", func(p *sim.Proc) {
+			p.Sleep(uint64(i)) // stagger the requests deterministically
+			txn := &Transaction{Kind: Rd, Addr: uint64(0x1000 + i*64), Src: i}
+			txn.PreSnoop = func(*Transaction) { grants = append(grants, i) }
+			b.Transact(p, txn)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(grants) != 3 || grants[0] != 0 || grants[1] != 1 || grants[2] != 2 {
+		t.Errorf("grant order %v, want FIFO by request time", grants)
+	}
+	if b.Stats.Total() != 3 {
+		t.Errorf("counted %d transactions", b.Stats.Total())
+	}
+}
+
+func TestTransactionTiming(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, testTiming(), &SimpleMemory{Backing: mem.New()})
+	var elapsed uint64
+	e.Spawn("req", func(p *sim.Proc) {
+		start := p.Now()
+		b.Transact(p, &Transaction{Kind: Rd, Addr: 0x40, Src: 0})
+		elapsed = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 180 { // memory latency, uncontended
+		t.Errorf("uncontended memory fill took %d cycles, want 180", elapsed)
+	}
+}
+
+// extraHook charges fixed extra cycles, like the SENSS +3 overhead.
+type extraHook struct{ cycles uint64 }
+
+func (h extraHook) OnTransaction(p *sim.Proc, t *Transaction) uint64 { return h.cycles }
+
+func TestHookExtraCyclesCharged(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, testTiming(), &SimpleMemory{Backing: mem.New()})
+	b.AttachHook(extraHook{3})
+	var elapsed uint64
+	e.Spawn("req", func(p *sim.Proc) {
+		start := p.Now()
+		b.Transact(p, &Transaction{Kind: Rd, Addr: 0x40, Src: 0})
+		elapsed = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 183 {
+		t.Errorf("took %d cycles, want 183 (180 + 3 overhead)", elapsed)
+	}
+	if b.Stats.ExtraCycles != 3 {
+		t.Errorf("ExtraCycles = %d", b.Stats.ExtraCycles)
+	}
+}
+
+func TestOnDataRunsBeforeCompletion(t *testing.T) {
+	e := sim.NewEngine()
+	store := mem.New()
+	store.WriteWord(0x80, 5)
+	b := New(e, testTiming(), &SimpleMemory{Backing: store})
+	var commitTime, doneTime uint64
+	e.Spawn("req", func(p *sim.Proc) {
+		txn := &Transaction{Kind: Rd, Addr: 0x80, Src: 0}
+		txn.OnData = func(*Transaction) { commitTime = p.Now() }
+		b.Transact(p, txn)
+		doneTime = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if commitTime != 0 {
+		t.Errorf("commit at %d, want at grant (0)", commitTime)
+	}
+	if doneTime != 180 {
+		t.Errorf("completion at %d, want 180", doneTime)
+	}
+}
+
+func TestCommittedWBSkipsMemoryWrite(t *testing.T) {
+	e := sim.NewEngine()
+	store := mem.New()
+	store.WriteWord(0x40, 111)
+	b := New(e, testTiming(), &SimpleMemory{Backing: store})
+	data := make([]byte, 64) // zeros — must NOT reach memory
+	e.Spawn("req", func(p *sim.Proc) {
+		b.Transact(p, &Transaction{Kind: WB, Addr: 0x40, Src: 0, Data: data, Committed: true})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.ReadWord(0x40); got != 111 {
+		t.Errorf("committed WB overwrote memory: %d", got)
+	}
+	if b.Stats.Count[WB] != 1 {
+		t.Error("committed WB not counted")
+	}
+}
+
+func TestRecordInjected(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, testTiming(), &SimpleMemory{Backing: mem.New()})
+	occ := b.RecordInjected(Auth)
+	if occ != 10 {
+		t.Errorf("auth occupancy = %d", occ)
+	}
+	if b.Stats.Count[Auth] != 1 || b.Stats.BusyCycles != 10 {
+		t.Errorf("stats %+v", b.Stats)
+	}
+}
+
+func TestArbitrationWaitStats(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, testTiming(), &SimpleMemory{Backing: mem.New()})
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("req", func(p *sim.Proc) {
+			b.Transact(p, &Transaction{Kind: Rd, Addr: uint64(i * 64), Src: i})
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All three request at cycle 0; the bus is held 20 cycles per data
+	// transaction, so the second waits 20 and the third 40.
+	if b.Stats.ArbWaits != 2 {
+		t.Errorf("ArbWaits = %d, want 2", b.Stats.ArbWaits)
+	}
+	if b.Stats.ArbWaitCycles != 60 {
+		t.Errorf("ArbWaitCycles = %d, want 60", b.Stats.ArbWaitCycles)
+	}
+	if b.Stats.ArbWaitMax != 40 {
+		t.Errorf("ArbWaitMax = %d, want 40", b.Stats.ArbWaitMax)
+	}
+}
+
+func TestBusyCyclesAccumulate(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, testTiming(), &SimpleMemory{Backing: mem.New()})
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("req", func(p *sim.Proc) {
+			b.Transact(p, &Transaction{Kind: Rd, Addr: uint64(i * 64), Src: i})
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.BusyCycles != 40 { // 2 × 20-cycle data occupancy
+		t.Errorf("busy = %d, want 40", b.Stats.BusyCycles)
+	}
+	if b.Stats.DataBytes != 128 {
+		t.Errorf("data bytes = %d", b.Stats.DataBytes)
+	}
+}

@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"testing"
+
+	"senss/internal/rng"
+)
+
+// refModel is an oracle for cache behavior: a map plus explicit LRU list
+// per set, evolved alongside the real cache under random operations.
+type refModel struct {
+	sets     int
+	ways     int
+	lineSize int
+	// per set: ordered slice of line addresses, most recent last
+	order map[int][]uint64
+	state map[uint64]State
+}
+
+func newRefModel(c *Cache) *refModel {
+	return &refModel{
+		sets: c.Sets(), ways: c.Ways(), lineSize: c.LineSize(),
+		order: make(map[int][]uint64),
+		state: make(map[uint64]State),
+	}
+}
+
+func (r *refModel) setOf(addr uint64) int {
+	return int(addr / uint64(r.lineSize) % uint64(r.sets))
+}
+
+func (r *refModel) touch(set int, addr uint64) {
+	lst := r.order[set]
+	for i, a := range lst {
+		if a == addr {
+			lst = append(append(lst[:i:i], lst[i+1:]...), addr)
+			r.order[set] = lst
+			return
+		}
+	}
+	r.order[set] = append(lst, addr)
+}
+
+func (r *refModel) lookup(addr uint64) (State, bool) {
+	st, ok := r.state[addr]
+	if ok {
+		r.touch(r.setOf(addr), addr)
+	}
+	return st, ok
+}
+
+func (r *refModel) insert(addr uint64, st State) (victim uint64, evicted bool) {
+	set := r.setOf(addr)
+	if _, ok := r.state[addr]; ok {
+		r.state[addr] = st
+		r.touch(set, addr)
+		return 0, false
+	}
+	if len(r.order[set]) >= r.ways {
+		victim = r.order[set][0]
+		r.order[set] = r.order[set][1:]
+		delete(r.state, victim)
+		evicted = true
+	}
+	r.state[addr] = st
+	r.touch(set, addr)
+	return victim, evicted
+}
+
+func (r *refModel) invalidate(addr uint64) {
+	set := r.setOf(addr)
+	for i, a := range r.order[set] {
+		if a == addr {
+			r.order[set] = append(r.order[set][:i:i], r.order[set][i+1:]...)
+			break
+		}
+	}
+	delete(r.state, addr)
+}
+
+// TestAgainstReferenceModel drives 20k random lookups/inserts/invalidates
+// and requires the real cache to agree with the oracle on every hit, every
+// state, and every eviction decision.
+func TestAgainstReferenceModel(t *testing.T) {
+	c := New(2048, 4, 64, false) // 8 sets × 4 ways
+	ref := newRefModel(c)
+	r := rng.New(777)
+	states := []State{Shared, Exclusive, Owned, Modified}
+
+	for op := 0; op < 20000; op++ {
+		addr := uint64(r.Intn(64)) * 64 // 64 lines over 8 sets: heavy conflict
+		switch r.Intn(3) {
+		case 0: // lookup
+			want, wantOK := ref.lookup(addr)
+			got := c.Lookup(addr)
+			if (got != nil) != wantOK {
+				t.Fatalf("op %d: lookup(%#x) hit=%v, oracle %v", op, addr, got != nil, wantOK)
+			}
+			if got != nil && got.State != want {
+				t.Fatalf("op %d: lookup(%#x) state %v, oracle %v", op, addr, got.State, want)
+			}
+		case 1: // insert
+			st := states[r.Intn(len(states))]
+			wantVictim, wantEvicted := ref.insert(addr, st)
+			_, victim := c.Insert(addr, st)
+			if (victim != nil) != wantEvicted {
+				t.Fatalf("op %d: insert(%#x) evicted=%v, oracle %v", op, addr, victim != nil, wantEvicted)
+			}
+			if victim != nil && victim.Addr != wantVictim {
+				t.Fatalf("op %d: insert(%#x) victim %#x, oracle %#x", op, addr, victim.Addr, wantVictim)
+			}
+		default: // invalidate
+			ref.invalidate(addr)
+			c.Invalidate(addr)
+		}
+	}
+
+	// Final state must agree entirely.
+	count := 0
+	c.ForEach(func(addr uint64, l *Line) {
+		count++
+		if st, ok := ref.state[addr]; !ok || st != l.State {
+			t.Errorf("final: cache holds %#x in %v, oracle %v (present=%v)", addr, l.State, st, ok)
+		}
+	})
+	if count != len(ref.state) {
+		t.Errorf("final: cache holds %d lines, oracle %d", count, len(ref.state))
+	}
+}

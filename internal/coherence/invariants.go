@@ -1,0 +1,95 @@
+package coherence
+
+import (
+	"bytes"
+	"fmt"
+
+	"senss/internal/cache"
+)
+
+// MemReader reads the current (decrypted) contents of the memory line at
+// addr into dst, bypassing timing. The machine supplies a reader that
+// applies the memsec pad when memory encryption is on.
+type MemReader func(addr uint64, dst []byte)
+
+// CheckInvariants verifies the MOESI invariants across every line cached by
+// any node:
+//
+//   - at most one node holds a line in M or E, and then nobody else holds
+//     any valid copy;
+//   - at most one node holds a line in O, and co-holders are all S;
+//   - every valid copy of a line has identical data;
+//   - when no dirty (M/O) copy exists, cached data equals memory.
+//
+// It is called from tests and (optionally) periodically by the machine.
+func CheckInvariants(nodes []*Node, readMem MemReader) error {
+	type holder struct {
+		node  *Node
+		state cache.State
+		data  []byte
+	}
+	byLine := make(map[uint64][]holder)
+	for _, n := range nodes {
+		n.L2.ForEach(func(addr uint64, l *cache.Line) {
+			byLine[addr] = append(byLine[addr], holder{n, l.State, l.Data})
+		})
+	}
+	for addr, hs := range byLine {
+		var m, e, o, s int
+		for _, h := range hs {
+			switch h.state {
+			case cache.Modified:
+				m++
+			case cache.Exclusive:
+				e++
+			case cache.Owned:
+				o++
+			case cache.Shared:
+				s++
+			}
+		}
+		if m+e > 1 || ((m+e == 1) && len(hs) > 1) {
+			return fmt.Errorf("line %#x: exclusive-state violation (M=%d E=%d O=%d S=%d)", addr, m, e, o, s)
+		}
+		if o > 1 {
+			return fmt.Errorf("line %#x: %d Owned copies", addr, o)
+		}
+		for i := 1; i < len(hs); i++ {
+			if !bytes.Equal(hs[i].data, hs[0].data) {
+				return fmt.Errorf("line %#x: data mismatch between node %d (%s) and node %d (%s)",
+					addr, hs[0].node.ID, hs[0].state, hs[i].node.ID, hs[i].state)
+			}
+		}
+		if m == 0 && o == 0 && readMem != nil {
+			memData := make([]byte, len(hs[0].data))
+			readMem(addr, memData)
+			if !bytes.Equal(memData, hs[0].data) {
+				return fmt.Errorf("line %#x: clean copies differ from memory", addr)
+			}
+		}
+		// Inclusion: every L1 line must be backed by a valid L2 line.
+	}
+	for _, n := range nodes {
+		if err := checkInclusion(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkInclusion(n *Node) error {
+	var err error
+	check := func(l1 *cache.Cache, name string) {
+		l1.ForEach(func(addr uint64, _ *cache.Line) {
+			if err != nil {
+				return
+			}
+			if n.L2.Peek(addr) == nil {
+				err = fmt.Errorf("node %d: %s holds %#x not present in L2", n.ID, name, addr)
+			}
+		})
+	}
+	check(n.L1I, "L1I")
+	check(n.L1D, "L1D")
+	return err
+}

@@ -1,0 +1,396 @@
+// Package coherence implements a processor node of the snooping SMP: a
+// split L1 (instruction/data, write-through) in front of a unified
+// write-back L2 kept coherent with the other nodes by a MOESI
+// write-invalidate protocol over the shared bus.
+//
+// All methods are written in blocking style and must be called from a
+// sim.Proc; they charge the Figure-5 latencies by sleeping.  Snooping
+// happens synchronously inside the requester's bus tenure, and every
+// cache-state change commits atomically at the coherence point (an L2 hit
+// before any sleep, or the bus grant via Transaction.OnData for misses), so
+// in-flight requests can never install stale lines.
+package coherence
+
+import (
+	"fmt"
+
+	"senss/internal/bus"
+	"senss/internal/cache"
+	"senss/internal/mem"
+	"senss/internal/sim"
+)
+
+// Params configures a node's cache hierarchy and hit latencies.
+type Params struct {
+	L1Size int
+	L1Ways int
+	L1Line int
+
+	L2Size int
+	L2Ways int
+	L2Line int
+
+	L1HitLat uint64 // cycles for an L1 hit (loads and instruction fetches)
+	L2HitLat uint64 // additional cycles for an L2 hit
+	StoreLat uint64 // cycles for a store absorbed by the write buffer
+	RMWLat   uint64 // additional cycles for the atomic in an RMW
+}
+
+// MissHooks lets the protection layers (memsec pads, CHash integrity)
+// interpose on the memory-side events of a node. Hooks may issue their own
+// bus transactions and recursive node accesses; they run while the node
+// does NOT hold the bus.
+type MissHooks interface {
+	// AfterMemoryFill runs after a Rd/RdX was supplied by memory (the line
+	// is already inserted, but the requesting operation has not returned):
+	// pad-coherence requests and integrity verification happen here.
+	AfterMemoryFill(p *sim.Proc, n *Node, t *bus.Transaction)
+	// AfterWriteBack runs after a dirty line's WB transaction: pad
+	// invalidation broadcast and hash-tree update happen here.
+	AfterWriteBack(p *sim.Proc, n *Node, addr uint64, data []byte)
+}
+
+// NodeStats counts the node's memory operations.
+type NodeStats struct {
+	Loads     uint64
+	Stores    uint64
+	RMWs      uint64
+	IFetches  uint64
+	UpgrRaces uint64 // planned Upgr converted to RdX after losing the line
+}
+
+// Node is one processor's cache hierarchy and coherence controller.
+type Node struct {
+	ID  int
+	GID int // SENSS group tag placed on every bus message
+
+	L1I *cache.Cache
+	L1D *cache.Cache
+	L2  *cache.Cache
+
+	Bus    *bus.Bus
+	Params Params
+	Hooks  MissHooks // nil when no protection layers are configured
+
+	Stats NodeStats
+
+	// fillDepth guards against pathological eviction recursion through
+	// protection-layer hook accesses.
+	fillDepth int
+}
+
+// NewNode builds a node and attaches it to b as a snooper.
+func NewNode(id int, params Params, b *bus.Bus) *Node {
+	n := &Node{
+		ID:     id,
+		L1I:    cache.New(params.L1Size, params.L1Ways, params.L1Line, false),
+		L1D:    cache.New(params.L1Size, params.L1Ways, params.L1Line, false),
+		L2:     cache.New(params.L2Size, params.L2Ways, params.L2Line, true),
+		Bus:    b,
+		Params: params,
+	}
+	b.AttachSnooper(n)
+	return n
+}
+
+func (n *Node) wordOf(l *cache.Line, addr uint64) uint64 {
+	return mem.ReadWordFromLine(l.Data, addr%uint64(n.Params.L2Line))
+}
+
+func (n *Node) setWord(l *cache.Line, addr uint64, v uint64) {
+	mem.WriteWordToLine(l.Data, addr%uint64(n.Params.L2Line), v)
+}
+
+// invalidateL1 drops every L1 subline of the L2 line at la (inclusion).
+func (n *Node) invalidateL1(la uint64) {
+	for off := 0; off < n.Params.L2Line; off += n.Params.L1Line {
+		n.L1I.Invalidate(la + uint64(off))
+		n.L1D.Invalidate(la + uint64(off))
+	}
+}
+
+// Load performs a data load of the aligned word at addr.
+func (n *Node) Load(p *sim.Proc, addr uint64) uint64 {
+	n.Stats.Loads++
+	if n.L1D.Lookup(addr) != nil {
+		l2 := n.L2.Peek(addr)
+		if l2 == nil {
+			panic(fmt.Sprintf("coherence: inclusion violated at %#x on node %d", addr, n.ID))
+		}
+		v := n.wordOf(l2, addr) // bind the value at the coherence point
+		p.Sleep(n.Params.L1HitLat)
+		return v
+	}
+	if l2 := n.L2.Lookup(addr); l2 != nil {
+		v := n.wordOf(l2, addr)
+		n.L1D.Insert(addr, cache.Shared)
+		p.Sleep(n.Params.L1HitLat + n.Params.L2HitLat)
+		return v
+	}
+	var v uint64
+	n.fill(p, addr, bus.Rd, func(l2 *cache.Line) {
+		v = n.wordOf(l2, addr)
+		n.L1D.Insert(addr, cache.Shared)
+	})
+	p.Sleep(n.Params.L1HitLat + n.Params.L2HitLat) // probes preceding the miss
+	return v
+}
+
+// IFetch models an instruction fetch at addr. L1I hits are free (overlapped
+// with execution); misses go through the normal hierarchy.
+func (n *Node) IFetch(p *sim.Proc, addr uint64) {
+	n.Stats.IFetches++
+	if n.L1I.Lookup(addr) != nil {
+		return
+	}
+	if l2 := n.L2.Lookup(addr); l2 != nil {
+		n.L1I.Insert(addr, cache.Shared)
+		p.Sleep(n.Params.L2HitLat)
+		return
+	}
+	n.fill(p, addr, bus.Rd, func(l2 *cache.Line) {
+		n.L1I.Insert(addr, cache.Shared)
+	})
+	p.Sleep(n.Params.L2HitLat)
+}
+
+// Store performs a data store of the aligned word at addr.
+func (n *Node) Store(p *sim.Proc, addr uint64, val uint64) {
+	n.Stats.Stores++
+	n.withModified(p, addr, func(l2 *cache.Line) {
+		n.setWord(l2, addr, val)
+	})
+	p.Sleep(n.Params.StoreLat)
+}
+
+// RMW atomically applies f to the word at addr, returning the old value.
+// The mutation commits at the coherence point with the line in M, so it is
+// atomic with respect to every other node.
+func (n *Node) RMW(p *sim.Proc, addr uint64, f func(uint64) uint64) uint64 {
+	n.Stats.RMWs++
+	var old uint64
+	n.withModified(p, addr, func(l2 *cache.Line) {
+		old = n.wordOf(l2, addr)
+		n.setWord(l2, addr, f(old))
+	})
+	p.Sleep(n.Params.StoreLat + n.Params.RMWLat)
+	return old
+}
+
+// withModified runs commit with addr's line held in Modified state,
+// obtaining ownership as needed.
+func (n *Node) withModified(p *sim.Proc, addr uint64, commit func(l2 *cache.Line)) {
+	l2 := n.L2.Lookup(addr)
+	if l2 == nil {
+		n.fill(p, addr, bus.RdX, commit)
+		p.Sleep(n.Params.L1HitLat + n.Params.L2HitLat)
+		return
+	}
+	switch l2.State {
+	case cache.Modified:
+		commit(l2)
+	case cache.Exclusive:
+		l2.State = cache.Modified
+		commit(l2)
+	case cache.Shared, cache.Owned:
+		n.upgrade(p, addr, commit)
+	default:
+		panic("coherence: invalid state in withModified")
+	}
+}
+
+// upgrade converts a Shared/Owned copy to Modified with a BusUpgr,
+// degrading to a full RdX if the copy is lost while waiting for the bus.
+func (n *Node) upgrade(p *sim.Proc, addr uint64, commit func(l2 *cache.Line)) {
+	la := n.L2.LineAddr(addr)
+	t := &bus.Transaction{Kind: bus.Upgr, Addr: la, Src: n.ID, GID: n.GID}
+	var victim *cache.Victim
+	t.PreSnoop = func(t *bus.Transaction) {
+		if n.L2.Peek(addr) == nil {
+			// A queued RdX stole the line while we waited: fetch it.
+			n.Stats.UpgrRaces++
+			t.Kind = bus.RdX
+		}
+	}
+	t.OnData = func(t *bus.Transaction) {
+		if t.Kind == bus.Upgr {
+			cur := n.L2.Peek(addr)
+			if cur == nil {
+				panic("coherence: line vanished between grant and commit")
+			}
+			cur.State = cache.Modified
+			commit(cur)
+			return
+		}
+		victim = n.commitFill(t, commit)
+	}
+	n.Bus.Transact(p, t)
+	n.postFill(p, t, victim)
+}
+
+// fill acquires the line containing addr with a Rd or RdX, committing the
+// insertion and the caller's action atomically at the bus grant.
+func (n *Node) fill(p *sim.Proc, addr uint64, kind bus.Kind, commit func(l2 *cache.Line)) {
+	la := n.L2.LineAddr(addr)
+	t := &bus.Transaction{Kind: kind, Addr: la, Src: n.ID, GID: n.GID}
+	var victim *cache.Victim
+	t.OnData = func(t *bus.Transaction) {
+		victim = n.commitFill(t, commit)
+	}
+	n.Bus.Transact(p, t)
+	n.postFill(p, t, victim)
+}
+
+// maxFillDepth bounds eviction recursion through protection-layer hooks.
+const maxFillDepth = 24
+
+// commitFill inserts the fetched line (state per MOESI), commits the
+// caller's action, and commits any dirty victim's bytes to memory. It runs
+// at the coherence point (bus held).
+func (n *Node) commitFill(t *bus.Transaction, commit func(l2 *cache.Line)) *cache.Victim {
+	state := cache.Modified
+	if t.Kind == bus.Rd {
+		if t.Shared {
+			state = cache.Shared
+		} else {
+			state = cache.Exclusive
+		}
+	}
+	l2, victim := n.L2.Insert(t.Addr, state)
+	copy(l2.Data, t.Data)
+	if victim != nil {
+		n.invalidateL1(victim.Addr)
+		if victim.State.Dirty() {
+			n.Bus.CommitStore(n.ID, n.GID, victim.Addr, victim.Data)
+		} else {
+			victim = nil
+		}
+	}
+	commit(l2)
+	return victim
+}
+
+// postFill runs the protection hooks and the victim's timing writeback
+// after the fill transaction completed (bus released).
+func (n *Node) postFill(p *sim.Proc, t *bus.Transaction, victim *cache.Victim) {
+	if n.fillDepth >= maxFillDepth {
+		panic("coherence: fill recursion too deep (protection-layer loop?)")
+	}
+	n.fillDepth++
+	defer func() { n.fillDepth-- }()
+
+	if t.SupplierID == bus.MemorySupplier && (t.Kind == bus.Rd || t.Kind == bus.RdX) && n.Hooks != nil {
+		n.Hooks.AfterMemoryFill(p, n, t)
+	}
+	if victim != nil {
+		wb := &bus.Transaction{
+			Kind: bus.WB, Addr: victim.Addr, Src: n.ID, GID: n.GID,
+			Data: victim.Data, Committed: true,
+		}
+		n.Bus.Transact(p, wb)
+		if n.Hooks != nil {
+			n.Hooks.AfterWriteBack(p, n, victim.Addr, victim.Data)
+		}
+	}
+}
+
+// SnoopBus implements bus.Snooper: the MOESI snoop side.
+func (n *Node) SnoopBus(t *bus.Transaction) {
+	if t.Src == n.ID {
+		return
+	}
+	switch t.Kind {
+	case bus.Rd:
+		l2 := n.L2.Peek(t.Addr)
+		if l2 == nil {
+			return
+		}
+		t.Shared = true
+		switch l2.State {
+		case cache.Modified:
+			l2.State = cache.Owned
+			n.supply(t, l2)
+		case cache.Owned:
+			n.supply(t, l2)
+		case cache.Exclusive:
+			l2.State = cache.Shared
+			n.supply(t, l2)
+		case cache.Shared:
+			// Clean shared copy: memory is current (no M/O exists or it
+			// would supply) and provides the data.
+		}
+	case bus.RdX:
+		l2 := n.L2.Peek(t.Addr)
+		if l2 == nil {
+			return
+		}
+		if l2.State != cache.Shared {
+			n.supply(t, l2)
+		}
+		n.L2.Invalidate(t.Addr)
+		n.invalidateL1(t.Addr)
+	case bus.Upgr:
+		if n.L2.Peek(t.Addr) == nil {
+			return
+		}
+		// The upgrader holds valid data; every other copy dies.
+		n.L2.Invalidate(t.Addr)
+		n.invalidateL1(t.Addr)
+	case bus.WB, bus.Auth, bus.PadInv, bus.PadReq, bus.PadUpd:
+		// No cache-state effect; the SENSS and memsec layers observe these
+		// through their own hooks.
+	}
+}
+
+// supply copies the snooped line into the transaction as a cache-to-cache
+// transfer. With MOESI at most one M/O/E holder exists, so there is never
+// a second supplier.
+func (n *Node) supply(t *bus.Transaction, l *cache.Line) {
+	if t.SupplierID != bus.MemorySupplier {
+		panic(fmt.Sprintf("coherence: two suppliers for %#x", t.Addr))
+	}
+	copy(t.Data, l.Data)
+	t.SupplierID = n.ID
+}
+
+// LoadLine reads a whole-line copy through the L2 (bypassing L1 — used by
+// the integrity layer for hash-tree nodes, which the paper keeps in L2).
+func (n *Node) LoadLine(p *sim.Proc, addr uint64) []byte {
+	la := n.L2.LineAddr(addr)
+	out := make([]byte, n.Params.L2Line)
+	if l2 := n.L2.Lookup(la); l2 != nil {
+		copy(out, l2.Data)
+		p.Sleep(n.Params.L2HitLat)
+		return out
+	}
+	n.fill(p, la, bus.Rd, func(l2 *cache.Line) {
+		copy(out, l2.Data)
+	})
+	p.Sleep(n.Params.L2HitLat)
+	return out
+}
+
+// StoreBlock writes len(data) bytes at addr (contained in one line) under a
+// single ownership acquisition — used by the integrity layer to patch a
+// child's hash tag inside its parent tree node.
+func (n *Node) StoreBlock(p *sim.Proc, addr uint64, data []byte) {
+	off := addr % uint64(n.Params.L2Line)
+	if int(off)+len(data) > n.Params.L2Line {
+		panic("coherence: StoreBlock crosses a line boundary")
+	}
+	n.Stats.Stores++
+	n.withModified(p, addr, func(l2 *cache.Line) {
+		copy(l2.Data[off:], data)
+	})
+	p.Sleep(n.Params.StoreLat)
+}
+
+// PeekWord reads the word at addr from this node's L2 without timing, for
+// validation and invariant checks. ok is false when the node holds no copy.
+func (n *Node) PeekWord(addr uint64) (v uint64, ok bool) {
+	l2 := n.L2.Peek(addr)
+	if l2 == nil {
+		return 0, false
+	}
+	return n.wordOf(l2, addr), true
+}

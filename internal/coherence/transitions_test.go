@@ -1,0 +1,149 @@
+package coherence
+
+import (
+	"testing"
+
+	"senss/internal/cache"
+	"senss/internal/sim"
+)
+
+// This file pins the MOESI state machine transition by transition. Each
+// case prepares a two- or three-node system so node 0's line is in a known
+// initial state, applies one local or remote event, and asserts the
+// resulting states on every node. The table doubles as the protocol's
+// documentation.
+
+const line = uint64(0x1000)
+
+// prep drives node states: a function run as a setup program.
+type step struct {
+	node int
+	op   string // "load", "store"
+}
+
+// runSteps executes the steps sequentially (one proc drives all nodes, so
+// ordering is exact), then returns the system for inspection.
+func runSteps(t *testing.T, nodes int, steps []step) *system {
+	t.Helper()
+	s := newSystem(t, nodes, 4<<10)
+	s.engine.Spawn("driver", func(p *sim.Proc) {
+		for _, st := range steps {
+			n := s.nodes[st.node]
+			switch st.op {
+			case "load":
+				n.Load(p, line)
+			case "store":
+				n.Store(p, line, 1)
+			}
+		}
+	})
+	s.run(t)
+	return s
+}
+
+// stateOf returns node i's state for the line (Invalid if absent).
+func stateOf(s *system, i int) cache.State {
+	l := s.nodes[i].L2.Peek(line)
+	if l == nil {
+		return cache.Invalid
+	}
+	return l.State
+}
+
+func TestMOESITransitionTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []step
+		want  []cache.State // expected per node
+	}{
+		// --- reaching each state ---
+		{"cold load → E", []step{{0, "load"}}, []cache.State{cache.Exclusive, cache.Invalid}},
+		{"cold store → M", []step{{0, "store"}}, []cache.State{cache.Modified, cache.Invalid}},
+		{"two loads → S,S", []step{{0, "load"}, {1, "load"}},
+			[]cache.State{cache.Shared, cache.Shared}},
+		{"store then remote load → O,S", []step{{0, "store"}, {1, "load"}},
+			[]cache.State{cache.Owned, cache.Shared}},
+
+		// --- E transitions ---
+		{"E + local store → M", []step{{0, "load"}, {0, "store"}},
+			[]cache.State{cache.Modified, cache.Invalid}},
+		{"E + remote load → S,S", []step{{0, "load"}, {1, "load"}},
+			[]cache.State{cache.Shared, cache.Shared}},
+		{"E + remote store → I,M", []step{{0, "load"}, {1, "store"}},
+			[]cache.State{cache.Invalid, cache.Modified}},
+
+		// --- M transitions ---
+		{"M + local load stays M", []step{{0, "store"}, {0, "load"}},
+			[]cache.State{cache.Modified, cache.Invalid}},
+		{"M + remote store → I,M", []step{{0, "store"}, {1, "store"}},
+			[]cache.State{cache.Invalid, cache.Modified}},
+
+		// --- S transitions ---
+		{"S + local store → M,I (upgrade)", []step{{0, "load"}, {1, "load"}, {0, "store"}},
+			[]cache.State{cache.Modified, cache.Invalid}},
+		{"S + remote store → I,M", []step{{0, "load"}, {1, "load"}, {1, "store"}},
+			[]cache.State{cache.Invalid, cache.Modified}},
+
+		// --- O transitions ---
+		{"O + local store → M,I (upgrade)", []step{{0, "store"}, {1, "load"}, {0, "store"}},
+			[]cache.State{cache.Modified, cache.Invalid}},
+		{"O + remote store → I,M", []step{{0, "store"}, {1, "load"}, {1, "store"}},
+			[]cache.State{cache.Invalid, cache.Modified}},
+		{"O + sharer store → I,M (owner data lives on)",
+			[]step{{0, "store"}, {1, "load"}, {1, "store"}},
+			[]cache.State{cache.Invalid, cache.Modified}},
+		{"O supplies further readers", []step{{0, "store"}, {1, "load"}, {2, "load"}},
+			[]cache.State{cache.Owned, cache.Shared, cache.Shared}},
+		{"O + local load stays O", []step{{0, "store"}, {1, "load"}, {0, "load"}},
+			[]cache.State{cache.Owned, cache.Shared}},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			s := runSteps(t, len(c.want), c.steps)
+			for i, want := range c.want {
+				if got := stateOf(s, i); got != want {
+					t.Errorf("node %d state %v, want %v", i, got, want)
+				}
+			}
+			s.check(t)
+		})
+	}
+}
+
+// TestMOESISupplierPreference: when an O copy exists it supplies readers
+// (cache-to-cache), and memory never serves a stale line.
+func TestMOESISupplierPreference(t *testing.T) {
+	s := newSystem(t, 3, 4<<10)
+	s.engine.Spawn("driver", func(p *sim.Proc) {
+		s.nodes[0].Store(p, line, 42) // M, memory stale
+		s.nodes[1].Load(p, line)      // O supplies; 0→O, 1→S
+		if v := s.nodes[2].Load(p, line); v != 42 {
+			t.Errorf("third reader got %d, want 42", v)
+		}
+	})
+	s.run(t)
+	if s.bus.Stats.C2CCount != 2 {
+		t.Errorf("expected both fills supplied cache-to-cache, got %d", s.bus.Stats.C2CCount)
+	}
+	s.check(t)
+}
+
+// TestMOESIDirtyEvictionFromOwned: evicting an O line writes memory back.
+func TestMOESIDirtyEvictionFromOwned(t *testing.T) {
+	s := newSystem(t, 2, 512) // 2 sets: conflict-evict easily
+	s.engine.Spawn("driver", func(p *sim.Proc) {
+		s.nodes[0].Store(p, line, 7) // M
+		s.nodes[1].Load(p, line)     // node0 → O
+		// Conflict-evict node0's O line: same set = stride 128 with 2 sets.
+		for i := uint64(1); i <= 4; i++ {
+			s.nodes[0].Load(p, line+i*128)
+		}
+	})
+	s.run(t)
+	if got := s.store.ReadWord(line); got != 7 {
+		t.Errorf("memory = %d after O eviction, want 7", got)
+	}
+	s.check(t)
+}

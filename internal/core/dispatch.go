@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"senss/internal/crypto/aes"
+	"senss/internal/crypto/cbcmac"
+	"senss/internal/crypto/rsa"
+	"senss/internal/rng"
+)
+
+// Program dispatch (paper §4.1, Figure 1): the distributor encrypts the
+// program under a symmetric session key K, wraps K under every group
+// member's public key, and ships the bundle. On arrival each member's SHU
+// unwraps K with its sealed private key; the lowest-PID member then
+// broadcasts freshly drawn initial vectors, encrypted and authenticated
+// under K, so all members start their mask and MAC chains synchronized.
+
+// ProcessorKeys is a processor's sealed key pair: the public half is known
+// to distributors, the private half never leaves the SHU.
+type ProcessorKeys struct {
+	Public  *rsa.PublicKey
+	private *rsa.PrivateKey
+}
+
+// GenerateProcessorKeys mints the key pair burned into processor pid,
+// deterministically from the random stream.
+func GenerateProcessorKeys(random *rng.Rand, bits int) (*ProcessorKeys, error) {
+	priv, err := rsa.GenerateKey(random, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &ProcessorKeys{Public: &priv.PublicKey, private: priv}, nil
+}
+
+// Package is the distributable bundle: the encrypted program image plus
+// the session key wrapped for each member processor.
+type Package struct {
+	Members     uint32
+	Image       []byte         // program bytes encrypted under K (CBC)
+	ImageIV     aes.Block      // CBC IV for the image
+	ImageMAC    aes.Block      // CBC-MAC over the encrypted image
+	WrappedKeys map[int][]byte // PID → RSA-wrapped session key
+}
+
+// Distributor prepares program packages for a target machine whose
+// processors' public keys it knows.
+type Distributor struct {
+	random *rng.Rand
+	pubs   map[int]*rsa.PublicKey
+}
+
+// NewDistributor creates a distributor drawing randomness from seed.
+func NewDistributor(seed uint64) *Distributor {
+	return &Distributor{random: rng.New(seed), pubs: make(map[int]*rsa.PublicKey)}
+}
+
+// RegisterProcessor records processor pid's public key.
+func (d *Distributor) RegisterProcessor(pid int, pub *rsa.PublicKey) {
+	d.pubs[pid] = pub
+}
+
+// Dispatch encrypts image under a fresh session key and wraps the key for
+// every member in members. The session key is returned only for test
+// introspection; a real distributor would discard it.
+func (d *Distributor) Dispatch(image []byte, members uint32) (*Package, aes.Block, error) {
+	key := aes.Block(d.random.Block16())
+	iv := aes.Block(d.random.Block16())
+	cipher := aes.NewFromBlock(key)
+
+	enc := cbcEncrypt(cipher, iv, image)
+	pkg := &Package{
+		Members:     members,
+		Image:       enc,
+		ImageIV:     iv,
+		ImageMAC:    cbcmac.Sum(cipher, iv.XOR(aes.BlockFromUint64(^uint64(0), 0)), enc),
+		WrappedKeys: make(map[int][]byte),
+	}
+	for _, pid := range MemberList(members) {
+		pub, ok := d.pubs[pid]
+		if !ok {
+			return nil, aes.Block{}, fmt.Errorf("core: no public key registered for processor %d", pid)
+		}
+		wrapped, err := rsa.EncryptKey(d.random, pub, key[:])
+		if err != nil {
+			return nil, aes.Block{}, err
+		}
+		pkg.WrappedKeys[pid] = wrapped
+	}
+	return pkg, key, nil
+}
+
+// Unwrap recovers the session key for processor pid using its sealed
+// private key, verifying the image MAC.
+func (pkg *Package) Unwrap(pid int, keys *ProcessorKeys) (aes.Block, error) {
+	wrapped, ok := pkg.WrappedKeys[pid]
+	if !ok {
+		return aes.Block{}, fmt.Errorf("core: processor %d is not a member of this package", pid)
+	}
+	raw, err := rsa.DecryptKey(keys.private, wrapped)
+	if err != nil {
+		return aes.Block{}, fmt.Errorf("core: unwrapping session key: %w", err)
+	}
+	if len(raw) != aes.KeySize {
+		return aes.Block{}, fmt.Errorf("core: unwrapped key has %d bytes", len(raw))
+	}
+	var key aes.Block
+	copy(key[:], raw)
+	cipher := aes.NewFromBlock(key)
+	mac := cbcmac.Sum(cipher, pkg.ImageIV.XOR(aes.BlockFromUint64(^uint64(0), 0)), pkg.Image)
+	if mac != pkg.ImageMAC {
+		return aes.Block{}, fmt.Errorf("core: program image failed authentication")
+	}
+	return key, nil
+}
+
+// DecryptImage recovers the plaintext program bytes.
+func (pkg *Package) DecryptImage(key aes.Block) []byte {
+	return cbcDecrypt(aes.NewFromBlock(key), pkg.ImageIV, pkg.Image)
+}
+
+// Dispatcher performs the full arrival-side handshake on a System: every
+// member unwraps the key, and the lowest-PID member draws and "broadcasts"
+// the initial vectors (modeled as a trusted exchange under K, since the
+// bus chains are not yet established).
+type Dispatcher struct {
+	random *rng.Rand
+}
+
+// NewDispatcher creates the arrival-side handshake driver.
+func NewDispatcher(seed uint64) *Dispatcher {
+	return &Dispatcher{random: rng.New(seed)}
+}
+
+// Install runs the handshake: unwrap on every member (verifying each
+// recovers the same key), then establish the group on the system with
+// fresh, distinct IVs. Returns the GID allocated from table.
+func (disp *Dispatcher) Install(sys *System, table *GroupTable, pkg *Package, keys map[int]*ProcessorKeys) (int, error) {
+	var sessionKey aes.Block
+	first := true
+	for _, pid := range MemberList(pkg.Members) {
+		pk, ok := keys[pid]
+		if !ok {
+			return 0, fmt.Errorf("core: no processor keys for member %d", pid)
+		}
+		k, err := pkg.Unwrap(pid, pk)
+		if err != nil {
+			return 0, err
+		}
+		if first {
+			sessionKey, first = k, false
+		} else if k != sessionKey {
+			return 0, fmt.Errorf("core: member %d unwrapped a different session key", pid)
+		}
+	}
+	gid, err := table.Allocate(pkg.Members)
+	if err != nil {
+		return 0, err
+	}
+	encIV := aes.Block(disp.random.Block16())
+	authIV := aes.Block(disp.random.Block16())
+	for encIV == authIV {
+		authIV = aes.Block(disp.random.Block16())
+	}
+	if err := sys.Establish(gid, sessionKey, pkg.Members, encIV, authIV); err != nil {
+		table.Release(gid)
+		return 0, err
+	}
+	return gid, nil
+}
+
+// cbcEncrypt encrypts msg (zero-padded to a block multiple) in CBC mode.
+func cbcEncrypt(cipher *aes.Cipher, iv aes.Block, msg []byte) []byte {
+	n := (len(msg) + aes.BlockSize - 1) / aes.BlockSize
+	out := make([]byte, n*aes.BlockSize)
+	prev := iv
+	for i := 0; i < n; i++ {
+		var b aes.Block
+		copy(b[:], msg[i*aes.BlockSize:])
+		prev = cipher.Encrypt(b.XOR(prev))
+		copy(out[i*aes.BlockSize:], prev[:])
+	}
+	return out
+}
+
+// cbcDecrypt reverses cbcEncrypt (padding retained).
+func cbcDecrypt(cipher *aes.Cipher, iv aes.Block, ct []byte) []byte {
+	out := make([]byte, len(ct))
+	prev := iv
+	for i := 0; i+aes.BlockSize <= len(ct); i += aes.BlockSize {
+		var b aes.Block
+		copy(b[:], ct[i:])
+		p := cipher.Decrypt(b).XOR(prev)
+		copy(out[i:], p[:])
+		prev = b
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"senss/internal/crypto/aes"
+	"senss/internal/rng"
+)
+
+// randomAdversary lands exactly one randomly-chosen manipulation (drop,
+// corrupt, spoof, or replay) on a randomly-chosen broadcast.
+type randomAdversary struct {
+	r        *rng.Rand
+	procs    int
+	strikeAt uint64
+
+	// Landed is the sequence number the attack actually hit (set once).
+	Landed   int64
+	kindUsed string
+	captured *Observed
+}
+
+func (a *randomAdversary) Tamper(seq uint64, sender int, cipher []aes.Block) map[int][]Observed {
+	cp := make([]aes.Block, len(cipher))
+	copy(cp, cipher)
+	if a.captured == nil {
+		a.captured = &Observed{Cipher: cp, Sender: sender}
+	}
+	if a.Landed >= 0 || seq < a.strikeAt {
+		return nil
+	}
+	victim := a.r.Intn(a.procs)
+	for victim == sender {
+		victim = a.r.Intn(a.procs)
+	}
+	var out map[int][]Observed
+	switch a.r.Intn(4) {
+	case 0: // drop
+		a.kindUsed = "drop"
+		out = map[int][]Observed{victim: nil}
+	case 1: // corrupt one bit
+		a.kindUsed = "corrupt"
+		bad := make([]aes.Block, len(cp))
+		copy(bad, cp)
+		bad[a.r.Intn(len(bad))][a.r.Intn(16)] ^= 1 << uint(a.r.Intn(8))
+		out = map[int][]Observed{victim: {{Cipher: bad, Sender: sender}}}
+	case 2: // spoof an extra message with a random claimed PID
+		a.kindUsed = "spoof"
+		fake := make([]aes.Block, len(cp))
+		for i := range fake {
+			fake[i] = aes.Block(a.r.Block16())
+		}
+		claimed := a.r.Intn(a.procs)
+		for claimed == victim {
+			claimed = a.r.Intn(a.procs) // victim-claimed spoofs alarm instantly; test the slow path
+		}
+		out = map[int][]Observed{victim: {
+			{Cipher: cp, Sender: sender},
+			{Cipher: fake, Sender: claimed},
+		}}
+	default: // replay the first captured broadcast
+		a.kindUsed = "replay"
+		out = map[int][]Observed{victim: {
+			{Cipher: cp, Sender: sender},
+			*a.captured,
+		}}
+	}
+	a.Landed = int64(seq)
+	return out
+}
+
+// TestRandomAdversaryDetectedWithinInterval is the paper's §4.3 guarantee
+// as a property: WHATEVER single manipulation the adversary lands, the
+// next authentication point — at most AuthInterval transfers later —
+// catches it. 60 random attacks across both auth modes.
+func TestRandomAdversaryDetectedWithinInterval(t *testing.T) {
+	for _, mode := range []AuthMode{AuthCBC, AuthGF} {
+		for trial := 0; trial < 30; trial++ {
+			seed := uint64(5000 + trial)
+			r := rng.New(seed)
+			params := DefaultParams()
+			params.AuthMode = mode
+			params.AuthInterval = 4 + r.Intn(12)
+			s, gid := newTestSystem(t, 4, params, seed)
+			adv := &randomAdversary{r: r, procs: 4, strikeAt: uint64(r.Intn(10)), Landed: -1}
+			s.SetTamperer(adv)
+
+			detectedAt := int64(-1)
+			for i := 0; i < 60; i++ {
+				c2c(s, gid, i%4, (i+1)%4, randomLine(r))
+				if s.Detected() {
+					detectedAt = int64(i)
+					break
+				}
+			}
+			if adv.Landed < 0 {
+				t.Fatalf("mode %v trial %d: adversary never struck", mode, trial)
+			}
+			if detectedAt < 0 {
+				t.Fatalf("mode %v trial %d: %s at seq %d never detected (interval %d)",
+					mode, trial, adv.kindUsed, adv.Landed, params.AuthInterval)
+			}
+			latency := detectedAt - adv.Landed
+			if latency > int64(params.AuthInterval) {
+				t.Errorf("mode %v trial %d: %s detected after %d transfers, bound %d",
+					mode, trial, adv.kindUsed, latency, params.AuthInterval)
+			}
+		}
+	}
+}
+
+// TestCleanTrafficNeverFalseAlarms drives long clean traffic across modes,
+// mask counts, and intervals: zero alarms allowed.
+func TestCleanTrafficNeverFalseAlarms(t *testing.T) {
+	for _, mode := range []AuthMode{AuthCBC, AuthGF} {
+		for _, masks := range []int{1, 2, 8} {
+			params := DefaultParams()
+			params.AuthMode = mode
+			params.Masks = masks
+			params.AuthInterval = 7
+			s, gid := newTestSystem(t, 4, params, uint64(6000+masks))
+			r := rng.New(uint64(6100 + masks))
+			for i := 0; i < 300; i++ {
+				c2c(s, gid, r.Intn(4), r.Intn(4), randomLine(r))
+			}
+			if s.Detected() {
+				t.Errorf("mode %v masks %d: false alarm: %v", mode, masks, s.Stats.Detections)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGroupsExhausted is returned by Allocate when every GID is occupied
+// and the caller did not ask to queue.
+var ErrGroupsExhausted = errors.New("core: all group IDs occupied")
+
+// GroupTable is the OS-visible allocator of group IDs (§5.2). Once a GID is
+// selected for a program, the corresponding entry is marked occupied on
+// every processor — including non-members — so untrusting applications can
+// never share a GID. The table also implements the paper's waiting queue
+// for GID exhaustion.
+type GroupTable struct {
+	occupied [MaxGroups]bool
+	members  [MaxGroups]uint32
+	free     int
+	queue    []chan int // waiters for a reclaimed GID, FIFO
+}
+
+// NewGroupTable returns a table with every GID free.
+func NewGroupTable() *GroupTable {
+	return &GroupTable{free: MaxGroups}
+}
+
+// Allocate reserves a GID for the given member bitmask. It fails with
+// ErrGroupsExhausted when no entry is free.
+func (g *GroupTable) Allocate(members uint32) (int, error) {
+	if members == 0 {
+		return 0, fmt.Errorf("core: empty member set")
+	}
+	for gid := 0; gid < MaxGroups; gid++ {
+		if !g.occupied[gid] {
+			g.occupied[gid] = true
+			g.members[gid] = members
+			g.free--
+			return gid, nil
+		}
+	}
+	return 0, ErrGroupsExhausted
+}
+
+// AllocateOrWait reserves a GID, or registers a waiter that receives the
+// next reclaimed GID. The second return is non-nil only when queued.
+func (g *GroupTable) AllocateOrWait(members uint32) (int, <-chan int, error) {
+	gid, err := g.Allocate(members)
+	if err == nil {
+		return gid, nil, nil
+	}
+	if !errors.Is(err, ErrGroupsExhausted) {
+		return 0, nil, err
+	}
+	ch := make(chan int, 1)
+	g.queue = append(g.queue, ch)
+	return 0, ch, nil
+}
+
+// Release reclaims a GID on program completion. If applications are queued
+// waiting, the GID is handed directly to the oldest waiter (staying
+// occupied); the waiter's member set must be set via SetMembers.
+func (g *GroupTable) Release(gid int) {
+	if gid < 0 || gid >= MaxGroups || !g.occupied[gid] {
+		panic(fmt.Sprintf("core: release of unoccupied GID %d", gid))
+	}
+	g.members[gid] = 0
+	if len(g.queue) > 0 {
+		ch := g.queue[0]
+		g.queue = g.queue[1:]
+		ch <- gid
+		return
+	}
+	g.occupied[gid] = false
+	g.free++
+}
+
+// SetMembers records the member set of a GID handed over via the queue.
+func (g *GroupTable) SetMembers(gid int, members uint32) {
+	if !g.occupied[gid] {
+		panic(fmt.Sprintf("core: SetMembers on free GID %d", gid))
+	}
+	g.members[gid] = members
+}
+
+// Occupied reports whether gid is allocated.
+func (g *GroupTable) Occupied(gid int) bool { return g.occupied[gid] }
+
+// Members returns the member bitmask of gid.
+func (g *GroupTable) Members(gid int) uint32 { return g.members[gid] }
+
+// Free returns the number of unallocated GIDs.
+func (g *GroupTable) Free() int { return g.free }
+
+// MemberList expands a bitmask into ascending PIDs.
+func MemberList(members uint32) []int {
+	var out []int
+	for pid := 0; pid < MaxProcs; pid++ {
+		if members&(1<<uint(pid)) != 0 {
+			out = append(out, pid)
+		}
+	}
+	return out
+}
+
+// MemberMask builds a bitmask from PIDs.
+func MemberMask(pids ...int) uint32 {
+	var m uint32
+	for _, pid := range pids {
+		if pid < 0 || pid >= MaxProcs {
+			panic(fmt.Sprintf("core: PID %d out of range", pid))
+		}
+		m |= 1 << uint(pid)
+	}
+	return m
+}

@@ -1,0 +1,79 @@
+package core
+
+import "fmt"
+
+// Hardware-overhead model of paper §7.1: sizes of the two SHU tables and
+// the extra bus lines. cmd/senss-hwcost prints it and a unit test pins the
+// arithmetic to the paper's reported numbers.
+
+// HWCostParams are the §7.1 configuration knobs.
+type HWCostParams struct {
+	MaxGroups    int // group info table entries (1024)
+	MaxProcs     int // processors (32)
+	KeyBits      int // session key (128)
+	CounterBits  int // authentication interval counter (8 chosen)
+	OccupiedBits int // occupied flag (1)
+	MaskCount    int // masks stored per group (8)
+	MaskBits     int // bits per mask (128)
+	BaseBusLines int // Gigaplane: 378
+	MsgTypeLines int // new message-type lines (2)
+	GIDLines     int // GID lines (10)
+}
+
+// DefaultHWCost returns the paper's §7.1 parameters.
+func DefaultHWCost() HWCostParams {
+	return HWCostParams{
+		MaxGroups:    1024,
+		MaxProcs:     32,
+		KeyBits:      128,
+		CounterBits:  8,
+		OccupiedBits: 1,
+		MaskCount:    8,
+		MaskBits:     128,
+		BaseBusLines: 378,
+		MsgTypeLines: 2,
+		GIDLines:     10,
+	}
+}
+
+// HWCost is the computed overhead report.
+type HWCost struct {
+	MatrixBytes        int     // group-processor bit matrix
+	EntryBits          int     // one group info table entry
+	TableBytes         int     // whole group info table
+	ExtraBusLines      int     // added bus lines
+	BusLineIncreasePct float64 // relative to the base bus
+}
+
+// ComputeHWCost evaluates the §7.1 arithmetic.
+func ComputeHWCost(p HWCostParams) HWCost {
+	// The paper sizes the matrix as entries × log2(MaxProcs) bits
+	// ("1024 entries × 5 bits per entry = 640 bytes").
+	bitsPerEntry := 0
+	for 1<<bitsPerEntry < p.MaxProcs {
+		bitsPerEntry++
+	}
+	matrixBits := p.MaxGroups * bitsPerEntry
+
+	entryBits := p.OccupiedBits + p.KeyBits + p.CounterBits + p.MaskCount*p.MaskBits
+	extra := p.MsgTypeLines + p.GIDLines
+	return HWCost{
+		MatrixBytes:        matrixBits / 8,
+		EntryBits:          entryBits,
+		TableBytes:         p.MaxGroups * entryBits / 8,
+		ExtraBusLines:      extra,
+		BusLineIncreasePct: float64(extra) / float64(p.BaseBusLines) * 100,
+	}
+}
+
+// String renders the report in the paper's terms.
+func (h HWCost) String() string {
+	return fmt.Sprintf(
+		"group-processor bit matrix: %d bytes\n"+
+			"group info table entry:     %d bits\n"+
+			"group info table:           %.1f KB (%d bytes)\n"+
+			"extra bus lines:            %d (+%.1f%% over the base bus)\n"+
+			"(the paper reports 640 B, 1161 bits, 148.6 KB, and ~3.1%%)",
+		h.MatrixBytes, h.EntryBits, float64(h.TableBytes)/1000, h.TableBytes,
+		h.ExtraBusLines, h.BusLineIncreasePct)
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"senss/internal/crypto/aes"
+)
+
+// This file implements the two *insecure* strawmen the paper analyzes, so
+// their weaknesses can be demonstrated by tests and the attack examples:
+//
+//   - §3.1: reusing the cache-to-memory OTP pad for cache-to-cache traffic
+//     leaks D ⊕ D' to a bus observer whenever the same pad encrypts two
+//     versions of a line;
+//   - §4.3 (Type 2 discussion): using the encryption masks themselves as
+//     the integrity evidence "recovers" after a reordering attack, so the
+//     attack goes undetected — which is why SENSS chains a separate MAC
+//     under a different IV.
+
+// PadReuseChannel models the broken scheme of §3.1: a fixed per-address
+// pad (the memory-encryption pad, unchanged while the line is dirty in a
+// cache) XOR-encrypts every bus transfer of that line.
+type PadReuseChannel struct {
+	cipher *aes.Cipher
+}
+
+// NewPadReuseChannel builds the strawman channel under key.
+func NewPadReuseChannel(key aes.Block) *PadReuseChannel {
+	return &PadReuseChannel{cipher: aes.NewFromBlock(key)}
+}
+
+// Pad derives the (address-stable) pad for addr — exactly the fast memory
+// encryption pad construction with a sequence number that does NOT change
+// between the two transfers (the line stays dirty in the owner's cache).
+func (c *PadReuseChannel) Pad(addr uint64, seq uint64) aes.Block {
+	return c.cipher.Encrypt(aes.BlockFromUint64(addr, seq))
+}
+
+// Encrypt is the strawman bus encryption: data ⊕ pad(addr).
+func (c *PadReuseChannel) Encrypt(addr uint64, seq uint64, data aes.Block) aes.Block {
+	return data.XOR(c.Pad(addr, seq))
+}
+
+// LeakXOR is the §3.1 attack: XORing two ciphertexts of the same address
+// (same pad) yields D ⊕ D' without knowing the key.
+func LeakXOR(c1, c2 aes.Block) aes.Block { return c1.XOR(c2) }
+
+// MaskChainAuth models the flawed "authenticate with the masks" idea of
+// §4.3: integrity evidence is simply the current mask, which is refreshed
+// as AES_K(previous ciphertext) with no PID and no separate chain. After a
+// swap of two adjacent messages both ends converge to the same mask again,
+// so comparing masks at a later checkpoint detects nothing.
+type MaskChainAuth struct {
+	cipher *aes.Cipher
+	mask   aes.Block
+}
+
+// NewMaskChainAuth starts the strawman chain from iv under key.
+func NewMaskChainAuth(key, iv aes.Block) *MaskChainAuth {
+	return &MaskChainAuth{cipher: aes.NewFromBlock(key), mask: iv}
+}
+
+// ObserveCipher advances the strawman chain with a raw ciphertext block.
+func (m *MaskChainAuth) ObserveCipher(c aes.Block) {
+	m.mask = m.cipher.Encrypt(c)
+}
+
+// Evidence returns the current chain value (what a checkpoint would
+// compare).
+func (m *MaskChainAuth) Evidence() aes.Block { return m.mask }

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+
+	"senss/internal/bus"
+	"senss/internal/crypto/aes"
+	"senss/internal/sim"
+)
+
+// Observed is one message as seen by one receiver — the unit the attack
+// interposer manipulates.
+type Observed struct {
+	Cipher []aes.Block
+	Sender int // claimed originator PID
+}
+
+// Tamperer is the physical bus adversary: for each broadcast it may
+// reshape what every receiver observes (drop, corrupt, re-order via
+// buffering, spoof the PID). Returning nil means a clean broadcast.
+// The map gives, per receiver PID, the ordered list of messages that
+// receiver observes in place of the original; receivers absent from the
+// map observe the original message.
+type Tamperer interface {
+	Tamper(seq uint64, sender int, cipher []aes.Block) map[int][]Observed
+}
+
+// SystemStats counts SENSS activity.
+type SystemStats struct {
+	Messages      uint64 // protected cache-to-cache transfers
+	AuthMsgs      uint64 // authentication broadcasts
+	MaskStalls    uint64 // cycles senders waited for mask banks
+	Alarms        uint64
+	IntervalUps   uint64 // adaptive interval doublings (load rose)
+	IntervalDowns uint64 // adaptive interval halvings (load fell)
+	Detections    []string
+}
+
+// groupTiming is the shared mask-availability schedule of a group: all
+// members refresh banks in lockstep, so the sender-side schedule is global.
+type groupTiming struct {
+	availAt   []uint64 // per bank: cycle when next usable
+	authCtr   int
+	authRound int // round-robin authentication initiator index
+
+	// Adaptive-interval state.
+	interval   int    // interval currently in force
+	lastMsgAt  uint64 // cycle of the previous c2c transfer
+	gapSum     uint64
+	windowMsgs int
+}
+
+// System wires the per-processor SHUs into the simulated bus as a
+// bus.SecurityHook. It encrypts every cache-to-cache data transfer at the
+// supplier, delivers the ciphertext through the (possibly adversarial)
+// interposer to every group member, decrypts at the requester, and runs
+// the periodic authentication protocol.
+type System struct {
+	params  Params
+	engine  *sim.Engine
+	bus     *bus.Bus
+	shus    []*SHU
+	timing  map[int]*groupTiming
+	tamper  Tamperer
+	halting bool // halt the engine on detection (true in the machine)
+
+	Stats SystemStats
+}
+
+// NewSystem creates the SENSS layer for nprocs processors and attaches it
+// to b. halting controls whether a detection freezes the engine (the
+// paper's global alarm) or is merely recorded (attack analysis runs).
+func NewSystem(engine *sim.Engine, b *bus.Bus, nprocs int, params Params, halting bool) *System {
+	s := &System{
+		params:  params.sanitize(),
+		engine:  engine,
+		bus:     b,
+		timing:  make(map[int]*groupTiming),
+		halting: halting,
+	}
+	for pid := 0; pid < nprocs; pid++ {
+		s.shus = append(s.shus, NewSHU(pid, s.params))
+	}
+	if b != nil {
+		b.AttachHook(s)
+	}
+	return s
+}
+
+// SHU returns processor pid's security hardware unit.
+func (s *System) SHU(pid int) *SHU { return s.shus[pid] }
+
+// SetTamperer installs (or clears) the bus adversary.
+func (s *System) SetTamperer(t Tamperer) { s.tamper = t }
+
+// Establish installs a group session on every member SHU and initializes
+// the group's mask-availability schedule. It is the low-level counterpart
+// of the Dispatcher (which performs the full RSA key-wrap handshake).
+func (s *System) Establish(gid int, key aes.Block, members uint32, encIV, authIV aes.Block) error {
+	for _, pid := range MemberList(members) {
+		if pid >= len(s.shus) {
+			return fmt.Errorf("core: member %d beyond system size %d", pid, len(s.shus))
+		}
+		if err := s.shus[pid].Join(gid, key, members, encIV, authIV); err != nil {
+			return err
+		}
+	}
+	s.timing[gid] = &groupTiming{
+		availAt:  make([]uint64, s.params.Masks),
+		interval: s.params.AuthInterval,
+	}
+	return nil
+}
+
+// CurrentInterval reports the authentication interval in force for gid
+// (equals Params.AuthInterval unless adaptation moved it).
+func (s *System) CurrentInterval(gid int) int {
+	if gt := s.timing[gid]; gt != nil {
+		return gt.interval
+	}
+	return s.params.AuthInterval
+}
+
+// detect records an integrity violation and, in halting mode, freezes the
+// machine (the paper's global alarm).
+func (s *System) detect(reason string) {
+	s.Stats.Alarms++
+	s.Stats.Detections = append(s.Stats.Detections, reason)
+	if s.halting && s.engine != nil {
+		s.engine.Halt("senss: " + reason)
+	}
+}
+
+// Detected reports whether any alarm fired.
+func (s *System) Detected() bool { return s.Stats.Alarms > 0 }
+
+// OnTransaction implements bus.SecurityHook: the SENSS datapath.
+func (s *System) OnTransaction(p *sim.Proc, t *bus.Transaction) uint64 {
+	extra := s.params.BusOverhead // +3 cycles on every tagged bus message
+	if !t.CacheToCache() {
+		return extra
+	}
+	gt := s.timing[t.GID]
+	if gt == nil {
+		return extra // untagged traffic (no group established)
+	}
+	sender := t.SupplierID
+
+	// Mask-availability stall: the sender holds the bus until the bank for
+	// this message sequence has been refreshed (§4.4). AuthGF masks come
+	// from a counter, independent of the traffic, so they are precomputed
+	// arbitrarily far ahead and never stall (the mode's selling point).
+	if !s.params.Perfect && s.params.AuthMode == AuthCBC && p != nil {
+		bank := int(s.shus[sender].Seq(t.GID) % uint64(s.params.Masks))
+		if avail := gt.availAt[bank]; avail > p.Now() {
+			stall := avail - p.Now()
+			s.Stats.MaskStalls += stall
+			extra += stall
+		}
+	}
+
+	plain := LineToBlocks(t.Data)
+	cipher, err := s.shus[sender].Encrypt(t.GID, plain)
+	if err != nil {
+		s.detect(err.Error())
+		return extra
+	}
+	s.Stats.Messages++
+
+	// Schedule this bank's refresh completion.
+	if s.params.Masks > 0 && p != nil {
+		bank := int((s.shus[sender].Seq(t.GID) - 1) % uint64(s.params.Masks))
+		gt.availAt[bank] = p.Now() + extra + s.params.AESLatency
+	}
+
+	// Broadcast through the interposer to every member except the sender.
+	var tampered map[int][]Observed
+	if s.tamper != nil {
+		tampered = s.tamper.Tamper(s.shus[sender].Seq(t.GID)-1, sender, cipher)
+	}
+	members := s.shus[sender].Members(t.GID)
+	for _, pid := range MemberList(members) {
+		if pid == sender || pid >= len(s.shus) {
+			continue
+		}
+		observed := []Observed{{Cipher: cipher, Sender: sender}}
+		if tampered != nil {
+			if alt, ok := tampered[pid]; ok {
+				observed = alt
+			}
+		}
+		for _, o := range observed {
+			got, err := s.shus[pid].Observe(t.GID, o.Cipher, o.Sender)
+			if err != nil {
+				s.detect(err.Error())
+				continue
+			}
+			if pid == t.Src {
+				// The requester consumes its decrypted view — under attack
+				// this is garbage, exactly as on a real tampered bus.
+				BlocksToLine(got, t.Data)
+			}
+		}
+	}
+
+	// Adaptive interval control (§4.3 extension): track the mean gap
+	// between transfers and re-tune the interval per window.
+	if s.params.Adaptive {
+		s.adapt(gt, p)
+	}
+
+	// Authentication protocol (§4.3): after interval transfers, the
+	// round-robin initiator broadcasts its MAC and all members compare.
+	if gt.interval > 0 {
+		gt.authCtr++
+		if gt.authCtr >= gt.interval {
+			gt.authCtr = 0
+			extra += s.authenticate(t.GID, members, gt)
+		}
+	}
+	return extra
+}
+
+// now returns the current cycle from the proc or the engine (protocol-
+// level drives pass p == nil).
+func (s *System) now(p *sim.Proc) uint64 {
+	if p != nil {
+		return p.Now()
+	}
+	if s.engine != nil {
+		return s.engine.Now()
+	}
+	return 0
+}
+
+// adapt implements the load-driven interval controller.
+func (s *System) adapt(gt *groupTiming, p *sim.Proc) {
+	now := s.now(p)
+	if gt.lastMsgAt != 0 && now >= gt.lastMsgAt {
+		gt.gapSum += now - gt.lastMsgAt
+		gt.windowMsgs++
+	}
+	gt.lastMsgAt = now
+	if gt.windowMsgs < s.params.AdaptWindow {
+		return
+	}
+	mean := gt.gapSum / uint64(gt.windowMsgs)
+	gt.gapSum, gt.windowMsgs = 0, 0
+	switch {
+	case mean < s.params.BusyGapCycles && gt.interval < s.params.MaxInterval:
+		gt.interval *= 2
+		if gt.interval > s.params.MaxInterval {
+			gt.interval = s.params.MaxInterval
+		}
+		s.Stats.IntervalUps++
+	case mean > s.params.IdleGapCycles && gt.interval > s.params.MinInterval:
+		gt.interval /= 2
+		if gt.interval < s.params.MinInterval {
+			gt.interval = s.params.MinInterval
+		}
+		s.Stats.IntervalDowns++
+	}
+}
+
+// authenticate runs one MAC broadcast, returning the bus cycles it adds.
+func (s *System) authenticate(gid int, members uint32, gt *groupTiming) uint64 {
+	list := MemberList(members)
+	if len(list) == 0 {
+		return 0
+	}
+	initiator := list[gt.authRound%len(list)]
+	gt.authRound++
+	s.Stats.AuthMsgs++
+
+	var occ uint64
+	if s.bus != nil {
+		occ = s.bus.RecordInjected(bus.Auth)
+	}
+	ref, err := s.shus[initiator].MACTag(gid)
+	if err != nil {
+		s.detect(err.Error())
+		return occ
+	}
+	for _, pid := range list {
+		if pid == initiator || pid >= len(s.shus) {
+			continue
+		}
+		tag, err := s.shus[pid].MACTag(gid)
+		if err != nil {
+			s.detect(err.Error())
+			continue
+		}
+		if !equalBytes(ref, tag) {
+			s.detect(fmt.Sprintf("bus authentication failure: processor %d disagrees with initiator %d on group %d",
+				pid, initiator, gid))
+			return occ
+		}
+	}
+	return occ
+}
+
+// ForceAuthentication runs an immediate authentication round (used by
+// tests and by the attack analyzer to bound detection latency).
+func (s *System) ForceAuthentication(gid int) {
+	gt := s.timing[gid]
+	if gt == nil {
+		return
+	}
+	var members uint32
+	for _, shu := range s.shus {
+		if m := shu.Members(gid); m != 0 {
+			members = m
+			break
+		}
+	}
+	gt.authCtr = 0
+	s.authenticate(gid, members, gt)
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

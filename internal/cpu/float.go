@@ -1,0 +1,9 @@
+package cpu
+
+import "math"
+
+// float64bits and float64frombits isolate the IEEE-754 conversion used by
+// the floating-point workloads (fft, lu, ocean, barnes) when they move
+// values through the simulated 64-bit memory words.
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

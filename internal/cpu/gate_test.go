@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"testing"
+
+	"senss/internal/sim"
+)
+
+func TestGateOpenPassThrough(t *testing.T) {
+	e := sim.NewEngine()
+	g := &Gate{}
+	steps := 0
+	e.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			g.check(p)
+			steps++
+			p.Sleep(1)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 5 {
+		t.Errorf("steps = %d", steps)
+	}
+	if g.Closed() || g.Parked() != 0 {
+		t.Error("open gate shows closed/parked state")
+	}
+}
+
+func TestGateParksAndReleases(t *testing.T) {
+	e := sim.NewEngine()
+	g := &Gate{}
+	g.Close()
+	progress := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("p", func(p *sim.Proc) {
+			g.check(p)
+			progress++
+		})
+	}
+	var openedAt uint64
+	e.Schedule(500, func() {
+		if g.Parked() != 3 {
+			t.Errorf("parked = %d at open time", g.Parked())
+		}
+		openedAt = e.Now()
+		g.Open(e)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if progress != 3 {
+		t.Errorf("progress = %d after open", progress)
+	}
+	if openedAt != 500 {
+		t.Errorf("opened at %d", openedAt)
+	}
+}
+
+func TestGateWaitQuiesce(t *testing.T) {
+	e := sim.NewEngine()
+	g := &Gate{}
+	running := 2
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("worker", func(p *sim.Proc) {
+			p.Sleep(uint64(100 * (i + 1)))
+			g.check(p) // parks (gate closed by scheduler below)
+		})
+	}
+	var quiescedAt uint64
+	e.Spawn("sched", func(p *sim.Proc) {
+		p.Sleep(10)
+		g.Close()
+		g.WaitQuiesce(p, func() int { return running })
+		quiescedAt = p.Now()
+		g.Open(e)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if quiescedAt != 200 { // the slower worker parks at t=200
+		t.Errorf("quiesced at %d, want 200", quiescedAt)
+	}
+}
+
+func TestGateNoteExitUnblocksScheduler(t *testing.T) {
+	e := sim.NewEngine()
+	g := &Gate{}
+	running := 1
+	e.Spawn("worker", func(p *sim.Proc) {
+		p.Sleep(50)
+		// Finishes without ever parking.
+		running--
+		g.NoteExit(e)
+	})
+	done := false
+	e.Spawn("sched", func(p *sim.Proc) {
+		g.Close()
+		g.WaitQuiesce(p, func() int { return running })
+		done = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("scheduler never unblocked after the worker exited")
+	}
+}

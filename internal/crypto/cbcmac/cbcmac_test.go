@@ -1,0 +1,185 @@
+package cbcmac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"senss/internal/crypto/aes"
+	"senss/internal/rng"
+)
+
+func newCipher(seed uint64) (*aes.Cipher, *rng.Rand) {
+	r := rng.New(seed)
+	return aes.NewFromBlock(aes.Block(r.Block16())), r
+}
+
+// TestChainMatchesManualComputation cross-checks Update against a hand-rolled
+// CBC chain.
+func TestChainMatchesManualComputation(t *testing.T) {
+	c, r := newCipher(11)
+	iv := aes.Block(r.Block16())
+	m := New(c, iv)
+
+	state := iv
+	for i := 0; i < 50; i++ {
+		in := aes.Block(r.Block16())
+		got := m.Update(in)
+		state = c.Encrypt(state.XOR(in))
+		if got != state {
+			t.Fatalf("block %d: chain diverged", i)
+		}
+	}
+	if m.Blocks() != 50 {
+		t.Errorf("Blocks = %d, want 50", m.Blocks())
+	}
+}
+
+// TestTwoPartiesStayInLockstep is the SENSS property: two SHUs seeing the
+// same message history hold identical MACs at every step.
+func TestTwoPartiesStayInLockstep(t *testing.T) {
+	c, r := newCipher(12)
+	iv := aes.Block(r.Block16())
+	a, b := New(c, iv), New(c, iv)
+	for i := 0; i < 200; i++ {
+		in := aes.Block(r.Block16())
+		a.Update(in)
+		b.Update(in)
+		if a.Sum() != b.Sum() {
+			t.Fatalf("step %d: MACs diverged with identical history", i)
+		}
+	}
+}
+
+// TestOrderSensitivity: swapping two messages must change the final MAC —
+// the paper's Type 2 (reordering) detection depends on this.
+func TestOrderSensitivity(t *testing.T) {
+	c, r := newCipher(13)
+	iv := aes.Block(r.Block16())
+	m1 := aes.Block(r.Block16())
+	m2 := aes.Block(r.Block16())
+
+	a := New(c, iv)
+	a.Update(m1)
+	a.Update(m2)
+	b := New(c, iv)
+	b.Update(m2)
+	b.Update(m1)
+	if a.Sum() == b.Sum() {
+		t.Error("MAC insensitive to message order")
+	}
+}
+
+// TestDivergencePropagates: once one input differs, later identical inputs
+// never re-converge the chains (within the sampled horizon). This is the
+// property that lets periodic authentication catch an attack that happened
+// many transfers earlier.
+func TestDivergencePropagates(t *testing.T) {
+	c, r := newCipher(14)
+	iv := aes.Block(r.Block16())
+	a, b := New(c, iv), New(c, iv)
+	a.Update(aes.Block(r.Block16()))
+	b.Update(aes.Block(r.Block16())) // different first input
+	for i := 0; i < 100; i++ {
+		in := aes.Block(r.Block16())
+		a.Update(in)
+		b.Update(in)
+		if a.Sum() == b.Sum() {
+			t.Fatalf("chains re-converged after %d common inputs", i+1)
+		}
+	}
+}
+
+func TestTagIsPrefix(t *testing.T) {
+	c, r := newCipher(15)
+	m := New(c, aes.Block(r.Block16()))
+	m.Update(aes.Block(r.Block16()))
+	full := m.Sum()
+	for n := 1; n <= aes.BlockSize; n++ {
+		tag := m.Tag(n)
+		if len(tag) != n {
+			t.Fatalf("Tag(%d) length %d", n, len(tag))
+		}
+		for i := range tag {
+			if tag[i] != full[i] {
+				t.Fatalf("Tag(%d) not a prefix of Sum", n)
+			}
+		}
+	}
+}
+
+func TestResetAndClone(t *testing.T) {
+	c, r := newCipher(16)
+	iv := aes.Block(r.Block16())
+	m := New(c, iv)
+	m.Update(aes.Block(r.Block16()))
+
+	cl := m.Clone()
+	in := aes.Block(r.Block16())
+	m.Update(in)
+	cl.Update(in)
+	if m.Sum() != cl.Sum() {
+		t.Error("clone diverged from original on identical input")
+	}
+
+	m.Reset()
+	if m.Sum() != iv || m.Blocks() != 0 {
+		t.Error("Reset did not restore IV state")
+	}
+}
+
+// TestSumOneShotConsistency: one-shot Sum equals incremental updates over
+// zero-padded blocks.
+func TestSumOneShotConsistency(t *testing.T) {
+	c, r := newCipher(17)
+	iv := aes.Block(r.Block16())
+	f := func(msg []byte) bool {
+		if len(msg) > 256 {
+			msg = msg[:256]
+		}
+		want := Sum(c, iv, msg)
+		m := New(c, iv)
+		for len(msg) > 0 {
+			var b aes.Block
+			n := copy(b[:], msg)
+			msg = msg[n:]
+			m.Update(b)
+		}
+		return m.Sum() == want
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	_ = r
+}
+
+// TestDifferentIVsDiverge: the same history under encryption vs
+// authentication IVs yields unrelated chains (paper §4.3 requires distinct
+// IVs so masks cannot stand in for MACs).
+func TestDifferentIVsDiverge(t *testing.T) {
+	c, r := newCipher(18)
+	iv1 := aes.Block(r.Block16())
+	iv2 := aes.Block(r.Block16())
+	if iv1 == iv2 {
+		t.Skip("sampled IVs equal")
+	}
+	a, b := New(c, iv1), New(c, iv2)
+	for i := 0; i < 50; i++ {
+		in := aes.Block(r.Block16())
+		a.Update(in)
+		b.Update(in)
+		if a.Sum() == b.Sum() {
+			t.Fatalf("chains with distinct IVs collided at step %d", i)
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	c, r := newCipher(19)
+	m := New(c, aes.Block(r.Block16()))
+	in := aes.Block(r.Block16())
+	b.SetBytes(aes.BlockSize)
+	for i := 0; i < b.N; i++ {
+		m.Update(in)
+	}
+}

@@ -1,0 +1,184 @@
+package gf128
+
+import (
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"senss/internal/crypto/aes"
+	"senss/internal/rng"
+)
+
+func randElem(r *rng.Rand) Element {
+	return Element{Hi: r.Uint64(), Lo: r.Uint64()}
+}
+
+func TestAddIsXor(t *testing.T) {
+	a := Element{Hi: 0xF0F0, Lo: 0x0F0F}
+	b := Element{Hi: 0x00FF, Lo: 0xFF00}
+	c := a.Add(b)
+	if c.Hi != 0xF00F || c.Lo != 0xF00F {
+		t.Errorf("Add = %+v", c)
+	}
+	if !a.Add(a).IsZero() {
+		t.Error("x + x != 0")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rng.New(1)
+	one := One()
+	for i := 0; i < 100; i++ {
+		x := randElem(r)
+		if Mul(x, one) != x || Mul(one, x) != x {
+			t.Fatalf("identity failed for %+v", x)
+		}
+	}
+}
+
+func TestMulZero(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 50; i++ {
+		if !Mul(randElem(r), Element{}).IsZero() {
+			t.Fatal("x · 0 != 0")
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	r := rng.New(3)
+	f := func() bool {
+		x, y := randElem(r), randElem(r)
+		return Mul(x, y) == Mul(y, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	r := rng.New(4)
+	f := func() bool {
+		x, y, z := randElem(r), randElem(r), randElem(r)
+		return Mul(Mul(x, y), z) == Mul(x, Mul(y, z))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDistributive(t *testing.T) {
+	r := rng.New(5)
+	f := func() bool {
+		x, y, z := randElem(r), randElem(r), randElem(r)
+		return Mul(x, y.Add(z)) == Mul(x, y).Add(Mul(x, z))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGHASHKnownAnswer checks GHASH against NIST GCM test case 2
+// (SP 800-38D validation data): K = 0^128, H = AES_K(0^128) =
+// 66e94bd4ef8a2c3b884cfa59ca342b2e; GHASH_H of one zero ciphertext block
+// followed by the length block 0^64 || 128 is f38cbb1ad69223dcc3457ae5b6b0f885.
+func TestGHASHKnownAnswer(t *testing.T) {
+	var zero [16]byte
+	cipher, err := aes.New(zero[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cipher.Encrypt(aes.Block{})
+	if hex.EncodeToString(h[:]) != "66e94bd4ef8a2c3b884cfa59ca342b2e" {
+		t.Fatalf("hash subkey = %x", h[:])
+	}
+	g := NewGHASH([16]byte(h))
+	// Ciphertext block: AES_K(ctr=2) for the all-zero plaintext block:
+	// 0388dace60b6a392f328c2b971b2fe78 (GCM test case 2 ciphertext).
+	ct, _ := hex.DecodeString("0388dace60b6a392f328c2b971b2fe78")
+	var block [16]byte
+	copy(block[:], ct)
+	g.Update(block)
+	var lenBlock [16]byte
+	lenBlock[15] = 128 // len(A)=0, len(C)=128 bits
+	g.Update(lenBlock)
+	got := g.Sum()
+	const want = "f38cbb1ad69223dcc3457ae5b6b0f885"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("GHASH = %x, want %s", got, want)
+	}
+}
+
+func TestGHASHOrderSensitivity(t *testing.T) {
+	r := rng.New(6)
+	var h [16]byte
+	r.Read(h[:])
+	b1 := r.Block16()
+	b2 := r.Block16()
+
+	g1 := NewGHASH(h)
+	g1.Update(b1)
+	g1.Update(b2)
+	g2 := NewGHASH(h)
+	g2.Update(b2)
+	g2.Update(b1)
+	if g1.Sum() == g2.Sum() {
+		t.Error("GHASH insensitive to block order")
+	}
+}
+
+func TestGHASHDivergencePropagates(t *testing.T) {
+	r := rng.New(7)
+	var h [16]byte
+	r.Read(h[:])
+	g1, g2 := NewGHASH(h), NewGHASH(h)
+	g1.Update(r.Block16())
+	g2.Update(r.Block16())
+	for i := 0; i < 50; i++ {
+		b := r.Block16()
+		g1.Update(b)
+		g2.Update(b)
+		if g1.Sum() == g2.Sum() {
+			t.Fatalf("chains re-converged after %d common blocks", i+1)
+		}
+	}
+}
+
+func TestGHASHResetAndClone(t *testing.T) {
+	r := rng.New(8)
+	var h [16]byte
+	r.Read(h[:])
+	g := NewGHASH(h)
+	g.Update(r.Block16())
+	cl := g.Clone()
+	b := r.Block16()
+	g.Update(b)
+	cl.Update(b)
+	if g.Sum() != cl.Sum() {
+		t.Error("clone diverged")
+	}
+	g.Reset()
+	if g.Sum() != ([16]byte{}) {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := rng.New(9)
+	f := func() bool {
+		b := r.Block16()
+		return FromBytes(b).Bytes() == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	r := rng.New(10)
+	x, y := randElem(r), randElem(r)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}

@@ -1,0 +1,181 @@
+// Package rsa implements a compact RSA scheme used for SENSS program
+// dispatch.
+//
+// In the paper (§4.1, Figure 1) every processor i holds a sealed key pair
+// (K+_i, K-_i).  The program distributor picks a symmetric session key K,
+// encrypts the program under K, then wraps K under each group member's
+// public key and ships the bundle.  This package provides exactly that
+// primitive: key generation, raw RSA, and a simple randomized padding for
+// wrapping 16-byte session keys.
+//
+// This is a reproduction substrate, not a hardened production RSA: the
+// modulus is small by modern standards (default 1024 bits) and the padding
+// is a salted PKCS#1-v1.5 shape, which is sufficient for the simulated
+// threat model (the adversary taps buses and memory, not the sealed
+// on-chip private keys).
+package rsa
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// DefaultBits is the default modulus size for processor key pairs.
+const DefaultBits = 1024
+
+// PublicKey is an RSA public key (K+ in the paper).
+type PublicKey struct {
+	N *big.Int
+	E *big.Int
+}
+
+// PrivateKey is an RSA private key (K-), sealed inside a processor's SHU.
+type PrivateKey struct {
+	PublicKey
+	D *big.Int
+	p *big.Int
+	q *big.Int
+}
+
+var (
+	// ErrMessageTooLong is returned when a message does not fit the modulus.
+	ErrMessageTooLong = errors.New("rsa: message too long for modulus")
+	// ErrDecrypt is returned when a ciphertext does not decrypt to a
+	// well-formed padded message.
+	ErrDecrypt = errors.New("rsa: decryption error")
+)
+
+// GenerateKey produces a key pair with an n-bit modulus using primes drawn
+// from random. The generator is deterministic if random is.
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("rsa: modulus too small: %d bits", bits)
+	}
+	e := big.NewInt(65537)
+	one := big.NewInt(1)
+	for {
+		p, err := genPrime(random, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := genPrime(random, bits-bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		phi := new(big.Int).Mul(pm1, qm1)
+		d := new(big.Int)
+		if d.ModInverse(e, phi) == nil {
+			continue // e not invertible mod phi; re-draw primes
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, E: new(big.Int).Set(e)},
+			D:         d,
+			p:         p,
+			q:         q,
+		}, nil
+	}
+}
+
+// genPrime draws candidates from random until one passes Miller-Rabin.
+func genPrime(random io.Reader, bits int) (*big.Int, error) {
+	bytes := (bits + 7) / 8
+	buf := make([]byte, bytes)
+	for {
+		if _, err := io.ReadFull(random, buf); err != nil {
+			return nil, err
+		}
+		// Force exact bit length and oddness.
+		buf[0] |= 0xC0 >> uint(8*bytes-bits)
+		buf[bytes-1] |= 1
+		c := new(big.Int).SetBytes(buf)
+		c.SetBit(c, bits-1, 1)
+		if c.ProbablyPrime(32) {
+			return c, nil
+		}
+	}
+}
+
+// maxPayload returns the maximum payload EncryptKey accepts for pub.
+func maxPayload(pub *PublicKey) int {
+	k := (pub.N.BitLen() + 7) / 8
+	return k - 11 // 0x00 0x02 [>=8 nonzero salt] 0x00 payload
+}
+
+// EncryptKey wraps payload (typically a 16-byte session key) under pub with
+// randomized padding drawn from random.
+func EncryptKey(random io.Reader, pub *PublicKey, payload []byte) ([]byte, error) {
+	k := (pub.N.BitLen() + 7) / 8
+	if len(payload) > maxPayload(pub) {
+		return nil, ErrMessageTooLong
+	}
+	em := make([]byte, k)
+	em[0] = 0
+	em[1] = 2
+	saltLen := k - 3 - len(payload)
+	salt := em[2 : 2+saltLen]
+	if _, err := io.ReadFull(random, salt); err != nil {
+		return nil, err
+	}
+	for i := range salt {
+		if salt[i] == 0 {
+			salt[i] = 0xA7 // any fixed nonzero substitute keeps the frame parseable
+		}
+	}
+	em[2+saltLen] = 0
+	copy(em[3+saltLen:], payload)
+	m := new(big.Int).SetBytes(em)
+	c := new(big.Int).Exp(m, pub.E, pub.N)
+	return leftPad(c.Bytes(), k), nil
+}
+
+// DecryptKey unwraps a ciphertext produced by EncryptKey.
+func DecryptKey(priv *PrivateKey, ciphertext []byte) ([]byte, error) {
+	k := (priv.N.BitLen() + 7) / 8
+	if len(ciphertext) != k {
+		return nil, ErrDecrypt
+	}
+	c := new(big.Int).SetBytes(ciphertext)
+	if c.Cmp(priv.N) >= 0 {
+		return nil, ErrDecrypt
+	}
+	m := new(big.Int).Exp(c, priv.D, priv.N)
+	em := leftPad(m.Bytes(), k)
+	if em[0] != 0 || em[1] != 2 {
+		return nil, ErrDecrypt
+	}
+	// Find the 0x00 separator after at least 8 salt bytes.
+	sep := -1
+	for i := 2; i < len(em); i++ {
+		if em[i] == 0 {
+			sep = i
+			break
+		}
+	}
+	if sep < 10 {
+		return nil, ErrDecrypt
+	}
+	out := make([]byte, len(em)-sep-1)
+	copy(out, em[sep+1:])
+	return out, nil
+}
+
+// leftPad returns b left-padded with zeros to length k.
+func leftPad(b []byte, k int) []byte {
+	if len(b) >= k {
+		return b
+	}
+	out := make([]byte, k)
+	copy(out[k-len(b):], b)
+	return out
+}

@@ -1,0 +1,153 @@
+package rsa
+
+import (
+	"bytes"
+	"testing"
+
+	"senss/internal/rng"
+)
+
+// testBits keeps key generation fast in tests; production-scale sizes are
+// exercised once in TestDefaultBits.
+const testBits = 512
+
+func genTestKey(t *testing.T, seed uint64) *PrivateKey {
+	t.Helper()
+	key, err := GenerateKey(rng.New(seed), testBits)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return key
+}
+
+func TestWrapUnwrapSessionKey(t *testing.T) {
+	key := genTestKey(t, 21)
+	r := rng.New(22)
+	session := make([]byte, 16)
+	r.Read(session)
+
+	ct, err := EncryptKey(r, &key.PublicKey, session)
+	if err != nil {
+		t.Fatalf("EncryptKey: %v", err)
+	}
+	pt, err := DecryptKey(key, ct)
+	if err != nil {
+		t.Fatalf("DecryptKey: %v", err)
+	}
+	if !bytes.Equal(pt, session) {
+		t.Errorf("round trip: got %x, want %x", pt, session)
+	}
+}
+
+func TestWrongKeyFailsOrGarbles(t *testing.T) {
+	k1 := genTestKey(t, 23)
+	k2 := genTestKey(t, 24)
+	r := rng.New(25)
+	session := make([]byte, 16)
+	r.Read(session)
+
+	ct, err := EncryptKey(r, &k1.PublicKey, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := DecryptKey(k2, ct)
+	if err == nil && bytes.Equal(pt, session) {
+		t.Error("session key decrypted under the wrong private key")
+	}
+}
+
+func TestRandomizedPadding(t *testing.T) {
+	key := genTestKey(t, 26)
+	r := rng.New(27)
+	session := make([]byte, 16)
+	r.Read(session)
+
+	c1, err := EncryptKey(r, &key.PublicKey, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := EncryptKey(r, &key.PublicKey, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(c1, c2) {
+		t.Error("two encryptions of the same key are identical (padding not randomized)")
+	}
+}
+
+func TestDeterministicKeygen(t *testing.T) {
+	k1 := genTestKey(t, 28)
+	k2 := genTestKey(t, 28)
+	if k1.N.Cmp(k2.N) != 0 || k1.D.Cmp(k2.D) != 0 {
+		t.Error("keygen not deterministic for a fixed seed")
+	}
+	k3 := genTestKey(t, 29)
+	if k1.N.Cmp(k3.N) == 0 {
+		t.Error("different seeds produced the same modulus")
+	}
+}
+
+func TestMessageTooLong(t *testing.T) {
+	key := genTestKey(t, 30)
+	big := make([]byte, testBits/8)
+	if _, err := EncryptKey(rng.New(31), &key.PublicKey, big); err != ErrMessageTooLong {
+		t.Errorf("want ErrMessageTooLong, got %v", err)
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	key := genTestKey(t, 32)
+	r := rng.New(33)
+	session := make([]byte, 16)
+	r.Read(session)
+	ct, err := EncryptKey(r, &key.PublicKey, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated ciphertext must be rejected outright.
+	if _, err := DecryptKey(key, ct[:len(ct)-1]); err == nil {
+		t.Error("truncated ciphertext accepted")
+	}
+	// A flipped bit must either error or change the payload.
+	ct[len(ct)/2] ^= 0x40
+	pt, err := DecryptKey(key, ct)
+	if err == nil && bytes.Equal(pt, session) {
+		t.Error("bit-flipped ciphertext still decrypts to the session key")
+	}
+}
+
+func TestModulusBitLength(t *testing.T) {
+	key := genTestKey(t, 34)
+	if key.N.BitLen() != testBits {
+		t.Errorf("modulus bit length = %d, want %d", key.N.BitLen(), testBits)
+	}
+}
+
+func TestGenerateKeyRejectsTinyModulus(t *testing.T) {
+	if _, err := GenerateKey(rng.New(1), 64); err == nil {
+		t.Error("want error for 64-bit modulus")
+	}
+}
+
+// TestDefaultBits generates one full-size pair, covering the path used by
+// the dispatcher.
+func TestDefaultBits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	key, err := GenerateKey(rng.New(35), DefaultBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(36)
+	session := make([]byte, 16)
+	r.Read(session)
+	ct, err := EncryptKey(r, &key.PublicKey, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := DecryptKey(key, ct)
+	if err != nil || !bytes.Equal(pt, session) {
+		t.Errorf("1024-bit round trip failed: %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+package sha256
+
+import (
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"senss/internal/rng"
+)
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+var kat = []struct {
+	in   string
+	want string
+}{
+	{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+	{"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+	{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+		"248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+	{"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+		"cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"},
+}
+
+func TestKnownAnswers(t *testing.T) {
+	for _, v := range kat {
+		got := Sum256([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("Sum256(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+func TestMillionA(t *testing.T) {
+	in := strings.Repeat("a", 1_000_000)
+	got := Sum256([]byte(in))
+	const want = "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("Sum256(1M 'a') = %x, want %s", got, want)
+	}
+}
+
+// TestIncrementalMatchesOneShot splits inputs at every boundary and checks
+// streaming Write produces the same digest as one-shot hashing.
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	r := rng.New(7)
+	msg := make([]byte, 300)
+	r.Read(msg)
+	want := Sum256(msg)
+	for cut := 0; cut <= len(msg); cut += 13 {
+		d := New()
+		d.Write(msg[:cut])
+		d.Write(msg[cut:])
+		if got := d.Sum(); got != want {
+			t.Fatalf("split at %d: digest mismatch", cut)
+		}
+	}
+}
+
+// TestSumDoesNotMutateState verifies Sum finalizes a copy.
+func TestSumDoesNotMutateState(t *testing.T) {
+	d := New()
+	d.Write([]byte("ab"))
+	first := d.Sum()
+	second := d.Sum()
+	if first != second {
+		t.Error("consecutive Sum calls differ")
+	}
+	d.Write([]byte("c"))
+	got := d.Sum()
+	want := Sum256([]byte("abc"))
+	if got != want {
+		t.Errorf("continued hash after Sum = %x, want %x", got, want)
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	if got, want := d.Sum(), Sum256([]byte("abc")); got != want {
+		t.Errorf("after Reset: %x, want %x", got, want)
+	}
+}
+
+// TestLengthBoundaries exercises the padding logic around block boundaries,
+// where off-by-one bugs live.
+func TestLengthBoundaries(t *testing.T) {
+	r := rng.New(8)
+	for _, n := range []int{54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129} {
+		msg := make([]byte, n)
+		r.Read(msg)
+		d := New()
+		for _, b := range msg { // byte-at-a-time streaming
+			d.Write([]byte{b})
+		}
+		if got, want := d.Sum(), Sum256(msg); got != want {
+			t.Errorf("len %d: streaming %x != one-shot %x", n, got, want)
+		}
+	}
+}
+
+// TestSecondPreimageSanity asserts distinct sampled inputs do not collide.
+func TestSecondPreimageSanity(t *testing.T) {
+	r := rng.New(9)
+	seen := make(map[[Size]byte][]byte)
+	for i := 0; i < 2000; i++ {
+		msg := make([]byte, 1+r.Intn(80))
+		r.Read(msg)
+		h := Sum256(msg)
+		if prev, ok := seen[h]; ok && string(prev) != string(msg) {
+			t.Fatalf("collision between %x and %x", prev, msg)
+		}
+		seen[h] = append([]byte(nil), msg...)
+	}
+}
+
+// TestDeterminism is the quick.Check property that hashing is a function.
+func TestDeterminism(t *testing.T) {
+	f := func(msg []byte) bool { return Sum256(msg) == Sum256(msg) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSum256_64B(b *testing.B)  { benchSum(b, 64) }
+func BenchmarkSum256_1KiB(b *testing.B) { benchSum(b, 1024) }
+
+func benchSum(b *testing.B, n int) {
+	r := rng.New(10)
+	msg := make([]byte, n)
+	r.Read(msg)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum256(msg)
+	}
+}

@@ -1,0 +1,396 @@
+// Package integrity implements the CHash-style Merkle hash tree memory
+// integrity checking that SENSS integrates for cache-to-memory protection
+// (paper §2.2, §6.2, after Gassend et al.).
+//
+// The tree covers the program's data region with 64-byte nodes holding
+// four truncated SHA-256 tags of their children (4-ary).  Tree nodes live
+// at reserved physical addresses and are cached through the normal L2 +
+// MOESI path — exactly the paper's design, including the resulting L2
+// pollution and hash-coherence bus traffic.  The root digest sits in a
+// trusted on-chip register updated only when the top node is written back.
+//
+// A memory-supplied fill is verified bottom-up: hash the fetched line
+// (160-cycle modeled latency) and compare with the tag stored in its
+// parent, fetching (and recursively verifying) parents until one is found
+// in the local L2, which the paper treats as trusted.  A dirty writeback
+// updates the tag in its parent, dirtying the parent in turn — ancestors
+// update lazily on their own evictions.
+package integrity
+
+import (
+	"fmt"
+
+	"senss/internal/bus"
+	"senss/internal/coherence"
+	"senss/internal/crypto/sha256"
+	"senss/internal/mem"
+	"senss/internal/sim"
+)
+
+// TagBytes is the truncated hash size: 64-byte nodes / 16-byte tags = 4-ary.
+const TagBytes = 16
+
+// Arity is the tree fan-out.
+const Arity = mem.LineSize / TagBytes
+
+// HashBase is where tree levels live in the simulated physical address
+// space, far above any program data.
+const HashBase = uint64(1) << 40
+
+// levelStride separates tree levels in the address space.
+const levelStride = uint64(1) << 34
+
+// Params configures the layer.
+type Params struct {
+	HashLatency uint64 // modeled hash-unit latency per computation
+
+	// Lazy selects the LHash-style scheme of Suh et al. that the paper
+	// recommends over CHash ("gave much better performance"): fill
+	// verification is taken off the critical path and performed by a
+	// background engine over batched logs. We model it by checking each
+	// fill functionally (same detection power, same alarm) while charging
+	// no stall cycles and issuing no critical-path parent fetches;
+	// parent-tag maintenance on writebacks remains eager, since our
+	// simplified log has no per-line counters to replace the tree.
+	Lazy bool
+}
+
+// Stats counts integrity work.
+type Stats struct {
+	HashOps       uint64 // hash computations charged
+	Verifies      uint64 // fills checked against the tree
+	Updates       uint64 // parent-tag updates on writebacks
+	RaceTolerated uint64 // mismatches explained by an in-flight update
+	Violations    uint64
+	LazyLogged    uint64 // accesses logged in lazy mode
+}
+
+// Tag is a truncated line hash.
+type Tag [TagBytes]byte
+
+// Tree is the integrity layer shared by all nodes of a machine.
+type Tree struct {
+	params   Params
+	engine   *sim.Engine
+	dataBase uint64
+	dataSize uint64   // bytes, line-aligned
+	levels   int      // number of tree levels (level 0 = parents of data)
+	counts   []uint64 // lines per level
+
+	root    Tag
+	rootSet bool
+
+	// pending marks lines whose memory image was committed but whose
+	// parent tag update is still in flight — the simulation's stand-in for
+	// the snooped hash-update buffer a hardware implementation needs.
+	pending map[uint64]int
+
+	// lazy-mode read/write multiset accumulators (XOR of tag material).
+	lazyAcc Tag
+
+	// ReadCoherent, set by the machine, reads the current coherent value
+	// of any line (dirty cache copies included) without timing — the view
+	// the lazy background verifier uses.
+	ReadCoherent func(addr uint64, dst []byte)
+
+	Stats Stats
+}
+
+// New creates a tree covering [dataBase, dataBase+dataSize).
+func New(engine *sim.Engine, dataBase, dataSize uint64, params Params) *Tree {
+	if dataBase%mem.LineSize != 0 {
+		panic("integrity: unaligned data base")
+	}
+	dataSize = (dataSize + mem.LineSize - 1) &^ uint64(mem.LineSize-1)
+	if dataSize == 0 {
+		dataSize = mem.LineSize
+	}
+	t := &Tree{
+		params:   params,
+		engine:   engine,
+		dataBase: dataBase,
+		dataSize: dataSize,
+		pending:  make(map[uint64]int),
+	}
+	n := dataSize / mem.LineSize
+	for n > 1 || t.levels == 0 {
+		n = (n + Arity - 1) / Arity
+		t.counts = append(t.counts, n)
+		t.levels++
+		if n == 1 {
+			break
+		}
+	}
+	return t
+}
+
+// Covers reports whether addr belongs to the protected data region.
+func (t *Tree) Covers(addr uint64) bool {
+	return addr >= t.dataBase && addr < t.dataBase+t.dataSize
+}
+
+// levelOf returns which tree level a hash-line address belongs to, or -1
+// for data addresses.
+func (t *Tree) levelOf(addr uint64) int {
+	if addr < HashBase {
+		return -1
+	}
+	return int((addr - HashBase) / levelStride)
+}
+
+// indexAt returns the line index of addr within its level (-1 = data).
+func (t *Tree) indexAt(addr uint64, level int) uint64 {
+	if level < 0 {
+		return (addr - t.dataBase) / mem.LineSize
+	}
+	return (addr - HashBase - uint64(level)*levelStride) / mem.LineSize
+}
+
+// lineAddr returns the address of line idx at the given level.
+func (t *Tree) lineAddr(level int, idx uint64) uint64 {
+	if level < 0 {
+		return t.dataBase + idx*mem.LineSize
+	}
+	return HashBase + uint64(level)*levelStride + idx*mem.LineSize
+}
+
+// parentOf returns the parent hash line address and the child's tag slot.
+func (t *Tree) parentOf(addr uint64) (parent uint64, slot int, top bool) {
+	level := t.levelOf(addr)
+	idx := t.indexAt(addr, level)
+	if level == t.levels-1 {
+		return 0, 0, true // the top node's parent is the root register
+	}
+	return t.lineAddr(level+1, idx/Arity), int(idx % Arity), false
+}
+
+// hashLine computes the truncated tag of a 64-byte line.
+func (t *Tree) hashLine(data []byte) Tag {
+	t.Stats.HashOps++
+	sum := sha256.Sum256(data)
+	var tag Tag
+	copy(tag[:], sum[:TagBytes])
+	return tag
+}
+
+// Build writes the initial tree into store (plaintext phase, before memory
+// encryption) and sets the root register. readLine must return the current
+// plaintext of any line.
+func (t *Tree) Build(store *mem.Store, readLine func(addr uint64, dst []byte)) {
+	buf := make([]byte, mem.LineSize)
+	// Level 0 from data, then each level from the one below.
+	childCount := t.dataSize / mem.LineSize
+	childAddr := func(i uint64) uint64 { return t.dataBase + i*mem.LineSize }
+	for level := 0; level < t.levels; level++ {
+		node := make([]byte, mem.LineSize)
+		for idx := uint64(0); idx < t.counts[level]; idx++ {
+			for s := 0; s < Arity; s++ {
+				child := idx*Arity + uint64(s)
+				var tag Tag
+				if child < childCount {
+					readLine(childAddr(child), buf)
+					sum := sha256.Sum256(buf)
+					copy(tag[:], sum[:TagBytes])
+				}
+				copy(node[s*TagBytes:], tag[:])
+			}
+			store.WriteLine(t.lineAddr(level, idx), node)
+		}
+		childCount = t.counts[level]
+		lv := level
+		childAddr = func(i uint64) uint64 { return t.lineAddr(lv, i) }
+	}
+	readLine(t.lineAddr(t.levels-1, 0), buf)
+	t.root = t.hashLine(buf)
+	t.Stats.HashOps-- // construction hashes are not charged to the run
+	t.rootSet = true
+}
+
+// violation records a detection and freezes the machine.
+func (t *Tree) violation(addr uint64, why string) {
+	t.Stats.Violations++
+	if t.engine != nil {
+		t.engine.Halt(fmt.Sprintf("integrity: %s at %#x", why, addr))
+	}
+}
+
+// AfterMemoryFill implements the verification half of coherence.MissHooks.
+func (t *Tree) AfterMemoryFill(p *sim.Proc, n *coherence.Node, txn *bus.Transaction) {
+	addr := txn.Addr
+	level := t.levelOf(addr)
+	if level < 0 && !t.Covers(addr) {
+		return
+	}
+	if t.params.Lazy {
+		// LHash-style: log the read and verify in the background (zero
+		// critical-path cycles; the hash unit's throughput absorbs it).
+		t.lazyLog(addr, txn.Data)
+		t.lazyVerify(addr, txn.Data)
+		return
+	}
+	t.verify(p, n, addr, txn.Data)
+}
+
+// lazyVerify performs the background check of a logged fill: same
+// comparison as the eager path, against the coherent view of the parent,
+// with no cycles charged and no cache traffic.
+func (t *Tree) lazyVerify(addr uint64, data []byte) {
+	if t.ReadCoherent == nil {
+		return
+	}
+	t.Stats.Verifies++
+	tag := t.hashLine(data)
+	parent, slot, top := t.parentOf(addr)
+	var want Tag
+	if top {
+		if !t.rootSet {
+			return
+		}
+		want = t.root
+	} else {
+		buf := make([]byte, mem.LineSize)
+		t.ReadCoherent(parent, buf)
+		copy(want[:], buf[slot*TagBytes:])
+	}
+	if tag != want {
+		if t.pending[addr] > 0 {
+			t.Stats.RaceTolerated++
+			return
+		}
+		t.violation(addr, "hash mismatch on background (lazy) verification")
+	}
+}
+
+// verify hashes the fetched line and compares against its parent's tag,
+// walking up through cached (trusted) ancestors.
+func (t *Tree) verify(p *sim.Proc, n *coherence.Node, addr uint64, data []byte) {
+	t.Stats.Verifies++
+	tag := t.hashLine(data)
+	p.Sleep(t.params.HashLatency)
+
+	parent, slot, top := t.parentOf(addr)
+	var want Tag
+	if top {
+		if !t.rootSet {
+			return
+		}
+		want = t.root
+	} else {
+		// Fetching the parent through the L2: a hit means it is already
+		// trusted; a miss recursively verifies it via this same hook.
+		line := n.LoadLine(p, parent)
+		copy(want[:], line[slot*TagBytes:])
+	}
+	if tag != want {
+		if t.pending[addr] > 0 {
+			// An eviction's parent-tag update is still in flight (the
+			// hash-update buffer a real SHU must snoop); re-check later
+			// would succeed, so tolerate and charge a retry.
+			t.Stats.RaceTolerated++
+			p.Sleep(t.params.HashLatency)
+			return
+		}
+		t.violation(addr, "hash mismatch on memory fill")
+	}
+}
+
+// BeginUpdate marks addr as having an in-flight parent update. The memory
+// port wrapper calls it at the writeback commit point.
+func (t *Tree) BeginUpdate(addr uint64) {
+	if t.levelOf(addr) >= 0 || t.Covers(addr) {
+		t.pending[addr]++
+	}
+}
+
+// AfterWriteBack implements the update half of coherence.MissHooks: patch
+// the child's tag in the parent node (dirtying it in this node's L2), or
+// the root register for the top node.
+func (t *Tree) AfterWriteBack(p *sim.Proc, n *coherence.Node, addr uint64, data []byte) {
+	level := t.levelOf(addr)
+	if level < 0 && !t.Covers(addr) {
+		return
+	}
+	defer func() {
+		if t.pending[addr] > 0 {
+			t.pending[addr]--
+			if t.pending[addr] == 0 {
+				delete(t.pending, addr)
+			}
+		}
+	}()
+	t.Stats.Updates++
+	tag := t.hashLine(data)
+	if t.params.Lazy {
+		// Background hashing: the tag is computed off the critical path,
+		// but the parent update itself (a cached store) remains eager so
+		// the tree stays current for the batched verifier.
+		t.lazyLog(addr, data)
+	} else {
+		p.Sleep(t.params.HashLatency)
+	}
+	parent, slot, top := t.parentOf(addr)
+	if top {
+		t.root = tag
+		return
+	}
+	n.StoreBlock(p, parent+uint64(slot*TagBytes), tag[:])
+}
+
+// lazyLog folds an access into the lazy-mode multiset accumulator.
+func (t *Tree) lazyLog(addr uint64, data []byte) {
+	t.Stats.LazyLogged++
+	buf := make([]byte, len(data)+8)
+	copy(buf, data)
+	for i := 0; i < 8; i++ {
+		buf[len(data)+i] = byte(addr >> (8 * i))
+	}
+	sum := sha256.Sum256(buf)
+	for i := 0; i < TagBytes; i++ {
+		t.lazyAcc[i] ^= sum[i]
+	}
+}
+
+// Check performs the end-of-run verification sweep for lazy mode (and is a
+// harmless no-op sanity pass otherwise): every covered line's current
+// plaintext must hash to the tag recorded in the tree. readLine must
+// return current plaintext including dirty cached lines.
+func (t *Tree) Check(readLine func(addr uint64, dst []byte)) error {
+	buf := make([]byte, mem.LineSize)
+	parentBuf := make([]byte, mem.LineSize)
+	for i := uint64(0); i < t.dataSize/mem.LineSize; i++ {
+		addr := t.lineAddr(-1, i)
+		readLine(addr, buf)
+		sum := sha256.Sum256(buf)
+		parent, slot, _ := t.parentOf(addr)
+		readLine(parent, parentBuf)
+		var want Tag
+		copy(want[:], parentBuf[slot*TagBytes:])
+		var got Tag
+		copy(got[:], sum[:TagBytes])
+		if got != want {
+			return fmt.Errorf("integrity: lazy check failed for line %#x", addr)
+		}
+	}
+	return nil
+}
+
+// WarmLines enumerates hash-line addresses top-down (highest level first)
+// up to the given byte budget — the lines the machine pre-loads into each
+// L2 at program load, matching the paper's steady-state assumption that
+// the upper tree levels reside on-chip.
+func (t *Tree) WarmLines(budget int) []uint64 {
+	var out []uint64
+	for level := t.levels - 1; level >= 0 && budget > 0; level-- {
+		for idx := uint64(0); idx < t.counts[level] && budget > 0; idx++ {
+			out = append(out, t.lineAddr(level, idx))
+			budget -= mem.LineSize
+		}
+	}
+	return out
+}
+
+// Root exposes the root register (tests).
+func (t *Tree) Root() Tag { return t.root }
+
+// Levels exposes the tree height (tests).
+func (t *Tree) Levels() int { return t.levels }

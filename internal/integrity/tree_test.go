@@ -1,0 +1,177 @@
+package integrity
+
+import (
+	"testing"
+
+	"senss/internal/crypto/sha256"
+	"senss/internal/mem"
+	"senss/internal/rng"
+)
+
+func buildTree(t *testing.T, dataLines int) (*Tree, *mem.Store) {
+	t.Helper()
+	store := mem.New()
+	r := rng.New(7)
+	buf := make([]byte, mem.LineSize)
+	for i := 0; i < dataLines; i++ {
+		r.Read(buf)
+		store.WriteLine(uint64(i*mem.LineSize), buf)
+	}
+	tree := New(nil, 0, uint64(dataLines*mem.LineSize), Params{HashLatency: 160})
+	tree.Build(store, func(addr uint64, dst []byte) { store.ReadLine(addr, dst) })
+	return tree, store
+}
+
+func TestTreeGeometry(t *testing.T) {
+	cases := []struct {
+		dataLines int
+		levels    int
+	}{
+		{1, 1},  // 1 leaf line → 1 parent node (the top)
+		{4, 1},  // exactly one node
+		{5, 2},  // 2 level-0 nodes → 1 top node
+		{16, 2}, // 4 level-0 → 1 top
+		{17, 3}, // 5 level-0 → 2 level-1 → 1 top
+		{256, 4},
+	}
+	for _, c := range cases {
+		tree := New(nil, 0, uint64(c.dataLines*mem.LineSize), Params{})
+		if tree.Levels() != c.levels {
+			t.Errorf("%d data lines: levels = %d, want %d", c.dataLines, tree.Levels(), c.levels)
+		}
+	}
+}
+
+func TestCoversRegion(t *testing.T) {
+	tree := New(nil, 128, 4*mem.LineSize, Params{})
+	if !tree.Covers(128) || !tree.Covers(128+4*64-1) {
+		t.Error("region not covered")
+	}
+	if tree.Covers(0) || tree.Covers(128+4*64) {
+		t.Error("outside region covered")
+	}
+}
+
+func TestBuildProducesVerifiableTags(t *testing.T) {
+	tree, store := buildTree(t, 20)
+	buf := make([]byte, mem.LineSize)
+	parent := make([]byte, mem.LineSize)
+	// Every data line's tag must appear in its parent at the right slot.
+	for i := 0; i < 20; i++ {
+		addr := uint64(i * mem.LineSize)
+		store.ReadLine(addr, buf)
+		sum := sha256.Sum256(buf)
+		p, slot, top := tree.parentOf(addr)
+		if top {
+			t.Fatal("data line cannot be top")
+		}
+		store.ReadLine(p, parent)
+		for j := 0; j < TagBytes; j++ {
+			if parent[slot*TagBytes+j] != sum[j] {
+				t.Fatalf("line %d: tag mismatch at parent byte %d", i, j)
+			}
+		}
+	}
+	// The root register must equal the hash of the top node.
+	top := tree.lineAddr(tree.levels-1, 0)
+	store.ReadLine(top, buf)
+	sum := sha256.Sum256(buf)
+	var want Tag
+	copy(want[:], sum[:TagBytes])
+	if tree.Root() != want {
+		t.Error("root register mismatch")
+	}
+}
+
+func TestCheckPassesOnCleanMemory(t *testing.T) {
+	tree, store := buildTree(t, 20)
+	if err := tree.Check(func(addr uint64, dst []byte) { store.ReadLine(addr, dst) }); err != nil {
+		t.Errorf("clean check failed: %v", err)
+	}
+}
+
+func TestCheckCatchesTamper(t *testing.T) {
+	tree, store := buildTree(t, 20)
+	store.Tamper(5*64+3, 0x10)
+	if err := tree.Check(func(addr uint64, dst []byte) { store.ReadLine(addr, dst) }); err == nil {
+		t.Error("tampered memory passed the check")
+	}
+}
+
+func TestWarmLinesTopDown(t *testing.T) {
+	tree, _ := buildTree(t, 256) // 4 levels
+	lines := tree.WarmLines(3 * mem.LineSize)
+	if len(lines) != 3 {
+		t.Fatalf("budget of 3 lines returned %d", len(lines))
+	}
+	// First line must be the single top node.
+	if lines[0] != tree.lineAddr(tree.levels-1, 0) {
+		t.Error("warm set does not start at the top node")
+	}
+	// Levels must be non-increasing along the list.
+	last := tree.levelOf(lines[0])
+	for _, a := range lines[1:] {
+		l := tree.levelOf(a)
+		if l > last {
+			t.Error("warm lines not top-down")
+		}
+		last = l
+	}
+}
+
+func TestParentOfChain(t *testing.T) {
+	tree, _ := buildTree(t, 64) // levels: 16 L0, 4 L1, 1 L2
+	addr := uint64(37 * mem.LineSize)
+	p0, slot0, top := tree.parentOf(addr)
+	if top {
+		t.Fatal("unexpected top")
+	}
+	if slot0 != 37%4 {
+		t.Errorf("slot = %d", slot0)
+	}
+	p1, _, top := tree.parentOf(p0)
+	if top {
+		t.Fatal("level-0 node cannot be top here")
+	}
+	p2, _, top := tree.parentOf(p1)
+	if top {
+		t.Fatal("level-1 node cannot be top here")
+	}
+	_, _, top = tree.parentOf(p2)
+	if !top {
+		t.Error("level-2 node should be the top")
+	}
+}
+
+func TestPendingCounter(t *testing.T) {
+	tree, _ := buildTree(t, 8)
+	tree.BeginUpdate(0)
+	tree.BeginUpdate(0)
+	if tree.pending[0] != 2 {
+		t.Errorf("pending = %d", tree.pending[0])
+	}
+	// Addresses outside the covered region are ignored.
+	tree.BeginUpdate(1 << 30)
+	if _, ok := tree.pending[1<<30]; ok {
+		t.Error("uncovered address marked pending")
+	}
+}
+
+func TestLazyLogAccumulates(t *testing.T) {
+	tree, _ := buildTree(t, 8)
+	tree.params.Lazy = true
+	data := make([]byte, mem.LineSize)
+	before := tree.lazyAcc
+	tree.lazyLog(0x40, data)
+	if tree.lazyAcc == before {
+		t.Error("lazy accumulator unchanged")
+	}
+	if tree.Stats.LazyLogged != 1 {
+		t.Error("lazy log not counted")
+	}
+	// XOR multiset property: logging the same access twice cancels.
+	tree.lazyLog(0x40, data)
+	if tree.lazyAcc != before {
+		t.Error("double log did not cancel (not a XOR multiset)")
+	}
+}

@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"senss/internal/core"
+	"testing"
+
+	"senss/internal/cpu"
+	"senss/internal/psync"
+)
+
+// TestTwoGroupsRunIsolated is the paper's Figure 1 scenario: two
+// applications on disjoint processor subsets of one machine, each under
+// its own SENSS group, both protected and both correct.
+func TestTwoGroupsRunIsolated(t *testing.T) {
+	cfg := smallConfig(4, SecurityBus)
+	cfg.Security.Senss.AuthInterval = 10
+	m := New(cfg)
+	m.PlanGroup([]int{0, 1})
+	m.PlanGroup([]int{2, 3})
+
+	// Two independent lock-counter applications.
+	mkApp := func() (progs [2]cpu.Program, counter uint64) {
+		lock := psync.NewLock(m.Alloc(64))
+		counter = m.Alloc(64)
+		barrier := psync.NewBarrier(m.Alloc(64), 2)
+		for i := 0; i < 2; i++ {
+			progs[i] = func(c *cpu.Port) {
+				var ctx psync.Context
+				for k := 0; k < 80; k++ {
+					lock.Acquire(c)
+					c.Store(counter, c.Load(counter)+1)
+					lock.Release(c)
+				}
+				barrier.Wait(c, &ctx)
+			}
+		}
+		return progs, counter
+	}
+	appA, counterA := mkApp()
+	appB, counterB := mkApp()
+
+	run, err := m.Run([]cpu.Program{appA[0], appA[1], appB[0], appB[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halted, why := m.Halted(); halted {
+		t.Fatalf("false alarm with two groups: %s", why)
+	}
+	if got := m.ReadWord(counterA); got != 160 {
+		t.Errorf("app A counter = %d, want 160", got)
+	}
+	if got := m.ReadWord(counterB); got != 160 {
+		t.Errorf("app B counter = %d, want 160", got)
+	}
+	if run.AuthMsgs == 0 {
+		t.Error("no authentication traffic")
+	}
+
+	// The two groups exist with disjoint membership, and non-members know
+	// nothing about the other group (all-zero matrix rows).
+	gidA := m.Nodes[0].GID
+	gidB := m.Nodes[2].GID
+	if gidA == gidB {
+		t.Fatal("both applications share a GID")
+	}
+	if m.Senss.SHU(0).Members(gidB) != 0 || m.Senss.SHU(2).Members(gidA) != 0 {
+		t.Error("bit matrix leaks cross-group membership")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFullDispatchEstablishment runs the complete §4.1 handshake path:
+// RSA key pairs per processor, session key wrapped per member, image MAC
+// verified, IVs broadcast — then an actual protected run on top.
+func TestFullDispatchEstablishment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA keygen in short mode")
+	}
+	cfg := smallConfig(2, SecurityBus)
+	cfg.Security.FullDispatch = true
+	cfg.Security.Senss.AuthInterval = 10
+	m := New(cfg)
+	progs, counter, _ := counterProgram(m, 2, 60)
+	run, err := m.Run(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halted, why := m.Halted(); halted {
+		t.Fatalf("false alarm after dispatch: %s", why)
+	}
+	if got := m.ReadWord(counter); got != 120 {
+		t.Errorf("counter = %d", got)
+	}
+	if run.AuthMsgs == 0 {
+		t.Error("no authentication after dispatched establishment")
+	}
+}
+
+// TestPlanGroupRejectsOverlap verifies the one-application-per-processor
+// restriction.
+func TestPlanGroupRejectsOverlap(t *testing.T) {
+	m := New(smallConfig(4, SecurityBus))
+	m.PlanGroup([]int{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping group accepted")
+		}
+	}()
+	m.PlanGroup([]int{1, 2})
+}
+
+// TestPlanGroupRequiresSenss verifies the guard on unprotected machines.
+func TestPlanGroupRequiresSenss(t *testing.T) {
+	m := New(smallConfig(2, SecurityOff))
+	defer func() {
+		if recover() == nil {
+			t.Error("PlanGroup without SENSS accepted")
+		}
+	}()
+	m.PlanGroup([]int{0})
+}
+
+// TestShutdownReclaimsGIDs: after a run, Shutdown must free every GID and
+// clear the member matrices (§5.2 reclamation).
+func TestShutdownReclaimsGIDs(t *testing.T) {
+	cfg := smallConfig(4, SecurityBus)
+	m := New(cfg)
+	m.PlanGroup([]int{0, 1})
+	m.PlanGroup([]int{2, 3})
+	progs, _, _ := counterProgram(m, 4, 20)
+	if _, err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	gidA := m.Nodes[0].GID
+	if !m.Groups.Occupied(gidA) {
+		t.Fatal("group not allocated during run")
+	}
+	m.Shutdown()
+	if m.Groups.Free() != core.MaxGroups {
+		t.Errorf("free GIDs = %d, want all %d reclaimed", m.Groups.Free(), core.MaxGroups)
+	}
+	if m.Senss.SHU(0).Members(gidA) != 0 {
+		t.Error("matrix row survives shutdown")
+	}
+	if m.Nodes[0].GID != -1 {
+		t.Error("node still tagged with a GID")
+	}
+	// Shutdown is idempotent.
+	m.Shutdown()
+}
+
+// TestGroupsGetSeparateTextRegions guards the fix for cross-group code
+// sharing: with two groups, the per-processor code bases must differ
+// between groups and match within one.
+func TestGroupsGetSeparateTextRegions(t *testing.T) {
+	cfg := smallConfig(4, SecurityBus)
+	m := New(cfg)
+	m.PlanGroup([]int{0, 1})
+	m.PlanGroup([]int{2, 3})
+	m.Load()
+	if m.nodeCode[0] != m.nodeCode[1] || m.nodeCode[2] != m.nodeCode[3] {
+		t.Error("group members do not share text")
+	}
+	if m.nodeCode[0] == m.nodeCode[2] {
+		t.Error("different groups share a text region")
+	}
+}

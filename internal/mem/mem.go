@@ -1,0 +1,131 @@
+// Package mem models the shared main memory of the SMP: a sparse,
+// line-granular backing store plus the DRAM timing parameters.
+//
+// The store holds whatever bytes the system writes — plaintext in an
+// unprotected machine, ciphertext when the memsec layer wraps it — so a
+// simulated adversary reading or flipping memory sees exactly what a probe
+// on a real DIMM would.
+package mem
+
+import "fmt"
+
+// LineSize is the storage granularity in bytes, matching the L2 line size
+// of the paper's configuration (Figure 5).
+const LineSize = 64
+
+// WordSize is the access granularity of simulated programs.
+const WordSize = 8
+
+// Line is one memory line.
+type Line [LineSize]byte
+
+// Store is a sparse line-addressed memory. The zero value is empty and
+// ready to use via New.
+type Store struct {
+	lines map[uint64]*Line
+
+	// Reads and Writes count line-granular accesses (for stats).
+	Reads  uint64
+	Writes uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{lines: make(map[uint64]*Line)}
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func LineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }
+
+// line returns the line containing addr, allocating it zeroed on demand.
+func (s *Store) line(addr uint64) *Line {
+	la := LineAddr(addr)
+	l, ok := s.lines[la]
+	if !ok {
+		l = new(Line)
+		s.lines[la] = l
+	}
+	return l
+}
+
+// ReadLine copies the line containing addr into dst.
+func (s *Store) ReadLine(addr uint64, dst []byte) {
+	if len(dst) != LineSize {
+		panic(fmt.Sprintf("mem: ReadLine dst size %d", len(dst)))
+	}
+	s.Reads++
+	copy(dst, s.line(addr)[:])
+}
+
+// WriteLine overwrites the line containing addr with src.
+func (s *Store) WriteLine(addr uint64, src []byte) {
+	if len(src) != LineSize {
+		panic(fmt.Sprintf("mem: WriteLine src size %d", len(src)))
+	}
+	s.Writes++
+	copy(s.line(addr)[:], src)
+}
+
+// ReadWord returns the 8-byte little-endian word at addr (must be aligned).
+// It bypasses timing — used for initialization and result validation.
+func (s *Store) ReadWord(addr uint64) uint64 {
+	checkAlign(addr)
+	l := s.line(addr)
+	off := addr % LineSize
+	var v uint64
+	for i := 0; i < WordSize; i++ {
+		v |= uint64(l[off+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+// WriteWord stores an 8-byte little-endian word at addr (must be aligned).
+// It bypasses timing — used for initialization.
+func (s *Store) WriteWord(addr uint64, v uint64) {
+	checkAlign(addr)
+	l := s.line(addr)
+	off := addr % LineSize
+	for i := 0; i < WordSize; i++ {
+		l[off+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+// Tamper XORs mask into the byte at addr — the physical memory attack used
+// by the integrity experiments.
+func (s *Store) Tamper(addr uint64, mask byte) {
+	l := s.line(addr)
+	l[addr%LineSize] ^= mask
+}
+
+// Touched returns the addresses of all allocated lines (unordered).
+func (s *Store) Touched() []uint64 {
+	out := make([]uint64, 0, len(s.lines))
+	for a := range s.lines {
+		out = append(out, a)
+	}
+	return out
+}
+
+func checkAlign(addr uint64) {
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("mem: unaligned word access at %#x", addr))
+	}
+}
+
+// ReadWordFromLine extracts the little-endian word at byte offset off of a
+// line buffer. Shared helper for caches and nodes.
+func ReadWordFromLine(line []byte, off uint64) uint64 {
+	var v uint64
+	for i := 0; i < WordSize; i++ {
+		v |= uint64(line[off+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+// WriteWordToLine stores a little-endian word at byte offset off of a line
+// buffer.
+func WriteWordToLine(line []byte, off uint64, v uint64) {
+	for i := 0; i < WordSize; i++ {
+		line[off+uint64(i)] = byte(v >> (8 * i))
+	}
+}

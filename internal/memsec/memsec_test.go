@@ -1,0 +1,196 @@
+package memsec
+
+import (
+	"bytes"
+	"testing"
+
+	"senss/internal/bus"
+	"senss/internal/crypto/aes"
+	"senss/internal/mem"
+	"senss/internal/rng"
+)
+
+func newLayer(t *testing.T, nprocs int, params Params) (*Layer, *mem.Store) {
+	t.Helper()
+	store := mem.New()
+	r := rng.New(99)
+	return New(store, aes.Block(r.Block16()), nprocs, params), store
+}
+
+func fetch(l *Layer, src int, addr uint64) ([]byte, uint64) {
+	dst := make([]byte, mem.LineSize)
+	extra := l.Fetch(&bus.Transaction{Kind: bus.Rd, Addr: addr, Src: src}, dst)
+	return dst, extra
+}
+
+func store(l *Layer, src int, addr uint64, data []byte) uint64 {
+	return l.Store(&bus.Transaction{Kind: bus.WB, Addr: addr, Src: src}, data)
+}
+
+func TestEncryptAllHidesPlaintext(t *testing.T) {
+	l, st := newLayer(t, 2, Params{AESLatency: 80, PerfectSNC: true})
+	st.WriteWord(0x100, 0xAABBCCDD)
+	l.EncryptAll()
+	if st.ReadWord(0x100) == 0xAABBCCDD {
+		t.Error("memory still plaintext after EncryptAll")
+	}
+	if got := l.ReadWordDecrypted(0x100); got != 0xAABBCCDD {
+		t.Errorf("decrypted view = %#x", got)
+	}
+}
+
+func TestFetchDecrypts(t *testing.T) {
+	l, st := newLayer(t, 2, Params{AESLatency: 80, PerfectSNC: true})
+	st.WriteWord(0x200, 42)
+	l.EncryptAll()
+	line, _ := fetch(l, 0, 0x200)
+	if got := mem.ReadWordFromLine(line, 0); got != 42 {
+		t.Errorf("fetched %d", got)
+	}
+}
+
+func TestStoreBumpsSequenceAndChangesCiphertext(t *testing.T) {
+	l, st := newLayer(t, 2, Params{AESLatency: 80, PerfectSNC: true})
+	data := make([]byte, mem.LineSize)
+	for i := range data {
+		data[i] = 0x77
+	}
+	store(l, 0, 0x300, data)
+	ct1 := make([]byte, mem.LineSize)
+	st.ReadLine(0x300, ct1)
+	seq1 := l.Seq(0x300)
+
+	store(l, 0, 0x300, data) // same plaintext again
+	ct2 := make([]byte, mem.LineSize)
+	st.ReadLine(0x300, ct2)
+	if l.Seq(0x300) != seq1+1 {
+		t.Error("sequence not bumped")
+	}
+	if bytes.Equal(ct1, ct2) {
+		t.Error("same plaintext encrypted identically across writebacks (pad reuse!)")
+	}
+	line, _ := fetch(l, 1, 0x300)
+	if !bytes.Equal(line, data) {
+		t.Error("fetch after re-encryption returned wrong plaintext")
+	}
+}
+
+func TestPerfectSNCNeverMisses(t *testing.T) {
+	l, _ := newLayer(t, 2, Params{AESLatency: 80, PerfectSNC: true})
+	data := make([]byte, mem.LineSize)
+	store(l, 0, 0x400, data)
+	if _, extra := fetch(l, 1, 0x400); extra != 0 {
+		t.Errorf("perfect SNC charged %d extra cycles", extra)
+	}
+	if l.Stats.PadMisses != 0 {
+		t.Error("perfect SNC recorded misses")
+	}
+}
+
+func TestFiniteSNCMissAndHit(t *testing.T) {
+	l, _ := newLayer(t, 2, Params{AESLatency: 80, PadEntries: 16})
+	data := make([]byte, mem.LineSize)
+	store(l, 0, 0x500, data)
+
+	// First fetch by processor 1: its SNC is cold → AES exposed.
+	if _, extra := fetch(l, 1, 0x500); extra != 80 {
+		t.Errorf("cold fetch extra = %d, want 80", extra)
+	}
+	if addr, ok := l.TakePendingRequest(1); !ok || addr != 0x500 {
+		t.Errorf("pending PadReq = %#x,%v", addr, ok)
+	}
+	// Second fetch: entry cached, pad generation overlaps.
+	if _, extra := fetch(l, 1, 0x500); extra != 0 {
+		t.Errorf("warm fetch extra = %d, want 0", extra)
+	}
+	if _, ok := l.TakePendingRequest(1); ok {
+		t.Error("spurious pending PadReq")
+	}
+}
+
+func TestWriterInvalidatesOtherPads(t *testing.T) {
+	l, _ := newLayer(t, 2, Params{AESLatency: 80, PadEntries: 16})
+	data := make([]byte, mem.LineSize)
+	store(l, 0, 0x600, data)
+	fetch(l, 1, 0x600)       // proc 1 warms its entry
+	l.TakePendingRequest(1)  // clear the pending request
+	store(l, 0, 0x600, data) // proc 0 writes back again: seq changes
+	if _, extra := fetch(l, 1, 0x600); extra != 80 {
+		t.Errorf("stale pad not treated as miss (extra=%d)", extra)
+	}
+}
+
+func TestWriteUpdateKeepsOtherPadsFresh(t *testing.T) {
+	l, _ := newLayer(t, 2, Params{AESLatency: 80, PadEntries: 16, WriteUpdate: true})
+	data := make([]byte, mem.LineSize)
+	store(l, 0, 0x600, data)
+	fetch(l, 1, 0x600) // proc 1 warms its entry (cold miss)
+	l.TakePendingRequest(1)
+	store(l, 0, 0x600, data) // writer bumps the sequence
+	// Write-update refreshed proc 1's entry in place: no miss, no AES.
+	if _, extra := fetch(l, 1, 0x600); extra != 0 {
+		t.Errorf("write-update left a stale pad (extra=%d)", extra)
+	}
+}
+
+func TestWriteUpdateDoesNotWarmColdCaches(t *testing.T) {
+	l, _ := newLayer(t, 2, Params{AESLatency: 80, PadEntries: 16, WriteUpdate: true})
+	data := make([]byte, mem.LineSize)
+	store(l, 0, 0x640, data)
+	// Proc 1 never cached this pad: the update must not conjure an entry.
+	if _, extra := fetch(l, 1, 0x640); extra != 80 {
+		t.Errorf("cold fetch extra = %d, want 80", extra)
+	}
+}
+
+func TestWriterOwnPadStaysFresh(t *testing.T) {
+	l, _ := newLayer(t, 1, Params{AESLatency: 80, PadEntries: 16})
+	data := make([]byte, mem.LineSize)
+	store(l, 0, 0x700, data)
+	if _, extra := fetch(l, 0, 0x700); extra != 0 {
+		t.Errorf("writer's own pad stale after its writeback (extra=%d)", extra)
+	}
+}
+
+func TestPadCacheLRUCapacity(t *testing.T) {
+	l, _ := newLayer(t, 1, Params{AESLatency: 80, PadEntries: 2})
+	data := make([]byte, mem.LineSize)
+	for _, a := range []uint64{0x000, 0x040, 0x080} { // 3 lines, capacity 2
+		store(l, 0, a, data)
+	}
+	// 0x000 is the LRU entry and must have been displaced.
+	if _, extra := fetch(l, 0, 0x000); extra != 80 {
+		t.Errorf("displaced entry fetched with extra=%d, want 80", extra)
+	}
+	if _, extra := fetch(l, 0, 0x080); extra != 0 {
+		t.Errorf("recent entry missed (extra=%d)", extra)
+	}
+}
+
+func TestLazyZeroLineEncryption(t *testing.T) {
+	// A line never written before the program starts must still decrypt
+	// to zeros when first fetched.
+	l, _ := newLayer(t, 1, Params{AESLatency: 80, PerfectSNC: true})
+	line, _ := fetch(l, 0, 0x12340)
+	for i, b := range line {
+		if b != 0 {
+			t.Fatalf("byte %d of untouched line = %#x", i, b)
+		}
+	}
+}
+
+func TestCiphertextDiffersAcrossAddresses(t *testing.T) {
+	// Same plaintext at two addresses must produce different ciphertext
+	// (the pad folds the address in).
+	l, st := newLayer(t, 1, Params{AESLatency: 80, PerfectSNC: true})
+	st.WriteWord(0x000, 7)
+	st.WriteWord(0x040, 7)
+	l.EncryptAll()
+	a := make([]byte, mem.LineSize)
+	b := make([]byte, mem.LineSize)
+	st.ReadLine(0x000, a)
+	st.ReadLine(0x040, b)
+	if bytes.Equal(a, b) {
+		t.Error("identical ciphertext at different addresses")
+	}
+}

@@ -1,0 +1,123 @@
+// Package rng provides small deterministic pseudo-random generators.
+//
+// The simulator must be bit-reproducible for a given seed (DESIGN.md §6):
+// experiment tables, the variability study of paper §7.8, and the regression
+// tests all depend on it.  We therefore use an explicit, seedable generator
+// everywhere instead of global sources.
+package rng
+
+import "encoding/binary"
+
+// SplitMix64 is the splitmix64 generator (Steele, Lea, Flood 2014).  It is
+// used directly for seeding and for cheap value streams.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Rand is a xoshiro256** generator with convenience helpers.  The zero
+// value is invalid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator deterministically seeded from seed.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	var r Rand
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// Guard against the all-zero state, which is a fixed point.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32-bit value.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Read fills p with pseudo-random bytes; it never fails, satisfying
+// io.Reader so the generator can feed RSA key generation deterministically.
+func (r *Rand) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) >= 8 {
+		binary.LittleEndian.PutUint64(p, r.Uint64())
+		p = p[8:]
+	}
+	if len(p) > 0 {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], r.Uint64())
+		copy(p, b[:])
+	}
+	return n, nil
+}
+
+// Block16 returns 16 pseudo-random bytes, the shape of an AES block.
+func (r *Rand) Block16() [16]byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:8], r.Uint64())
+	binary.LittleEndian.PutUint64(b[8:16], r.Uint64())
+	return b
+}

@@ -1,0 +1,136 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/100 identical draws across seeds", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	f := func(n uint8) bool {
+		p := r.Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFillsExactly(t *testing.T) {
+	r := New(6)
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 33} {
+		buf := make([]byte, n)
+		got, err := r.Read(buf)
+		if err != nil || got != n {
+			t.Errorf("Read(%d) = %d, %v", n, got, err)
+		}
+	}
+}
+
+func TestReadNonTrivial(t *testing.T) {
+	r := New(7)
+	buf := make([]byte, 64)
+	r.Read(buf)
+	zero := 0
+	for _, b := range buf {
+		if b == 0 {
+			zero++
+		}
+	}
+	if zero > 8 {
+		t.Errorf("suspiciously many zero bytes: %d/64", zero)
+	}
+}
+
+func TestUniformityChiSquareish(t *testing.T) {
+	// Bucket 100k draws into 16 bins; each should be within 5% of expected.
+	r := New(8)
+	const draws, bins = 100000, 16
+	var count [bins]int
+	for i := 0; i < draws; i++ {
+		count[r.Uint64()%bins]++
+	}
+	want := draws / bins
+	for i, c := range count {
+		if c < want*95/100 || c > want*105/100 {
+			t.Errorf("bin %d count %d outside 5%% of %d", i, c, want)
+		}
+	}
+}
+
+func TestSplitMix64KnownSequence(t *testing.T) {
+	// Reference values for seed 0 from the splitmix64 reference
+	// implementation.
+	s := NewSplitMix64(0)
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("Next()[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestBlock16Varies(t *testing.T) {
+	r := New(9)
+	if r.Block16() == r.Block16() {
+		t.Error("consecutive Block16 values identical")
+	}
+}

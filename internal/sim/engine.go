@@ -1,0 +1,273 @@
+// Package sim is a deterministic discrete-event simulation engine with
+// cooperative green threads ("procs").
+//
+// The SMP model is written in blocking style: each simulated processor runs
+// its program inside a proc; memory-hierarchy layers charge simulated cycles
+// by calling Sleep, and contention points (the bus arbiter, spinlocks) are
+// expressed with wait queues.  Exactly one proc executes at a time — the
+// engine hands a single run token to whichever event is next in (cycle,
+// sequence) order — so the whole simulation is single-threaded in effect and
+// bit-reproducible for a fixed seed, which DESIGN.md §6 requires.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled occurrence: either an engine-context callback or the
+// resumption of a parked proc.
+type event struct {
+	at   uint64
+	seq  uint64
+	fn   func()
+	proc *Proc
+}
+
+// eventHeap orders events by (cycle, insertion sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns simulated time and the run token.
+type Engine struct {
+	now    uint64
+	seq    uint64
+	events eventHeap
+	// yield receives control back from the currently running proc.
+	yield   chan struct{}
+	live    int // procs spawned and not yet finished
+	limit   uint64
+	halted  bool
+	haltMsg string
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Schedule runs fn in engine context at absolute cycle at (>= Now).
+func (e *Engine) Schedule(at uint64, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn in engine context after delay cycles.
+func (e *Engine) After(delay uint64, fn func()) { e.Schedule(e.now+delay, fn) }
+
+// Halt stops the simulation at the end of the current event with the given
+// reason. Used by the SENSS alarm: an authentication failure freezes the
+// machine.
+func (e *Engine) Halt(msg string) {
+	e.halted = true
+	e.haltMsg = msg
+}
+
+// Halted reports whether Halt was called, and the reason.
+func (e *Engine) Halted() (bool, string) { return e.halted, e.haltMsg }
+
+// Proc is a cooperative simulated thread of execution.
+type Proc struct {
+	e      *Engine
+	wake   chan struct{}
+	name   string
+	parked bool
+	done   bool
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current simulated cycle.
+func (p *Proc) Now() uint64 { return p.e.now }
+
+// Spawn creates a proc running fn, started at the current cycle (after
+// already-queued events at this cycle).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, wake: make(chan struct{}), name: name}
+	e.live++
+	go func() {
+		<-p.wake // wait for the start event to hand us the token
+		fn(p)
+		p.done = true
+		e.live--
+		e.yield <- struct{}{}
+	}()
+	e.Schedule(e.now, func() { e.resume(p) })
+	return p
+}
+
+// resume hands the run token to p and waits for it to come back. Engine
+// context only.
+func (e *Engine) resume(p *Proc) {
+	if p.done {
+		panic(fmt.Sprintf("sim: resuming finished proc %q", p.name))
+	}
+	p.parked = false
+	p.wake <- struct{}{}
+	<-e.yield
+}
+
+// Sleep suspends the proc for d simulated cycles (0 means yield to other
+// events at this cycle).
+func (p *Proc) Sleep(d uint64) {
+	e := p.e
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + d, seq: e.seq, proc: p})
+	e.yield <- struct{}{}
+	<-p.wake
+}
+
+// Park suspends the proc indefinitely; another party must wake it via a
+// Queue or Engine.Unpark.
+func (p *Proc) Park() {
+	p.parked = true
+	p.e.yield <- struct{}{}
+	<-p.wake
+}
+
+// Unpark schedules parked proc q to resume at the current cycle. It may be
+// called from engine context or from another running proc.
+func (e *Engine) Unpark(q *Proc) {
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now, seq: e.seq, proc: q})
+}
+
+// DeadlockError reports that no events remain while procs are still alive.
+type DeadlockError struct {
+	Cycle  uint64
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d, parked procs: %v", d.Cycle, d.Parked)
+}
+
+// LimitError reports that the run exceeded the configured cycle limit.
+type LimitError struct{ Limit uint64 }
+
+func (l *LimitError) Error() string {
+	return fmt.Sprintf("sim: exceeded cycle limit %d (livelock?)", l.Limit)
+}
+
+// SetLimit aborts Run with a LimitError once simulated time passes limit
+// cycles. Zero disables the limit.
+func (e *Engine) SetLimit(limit uint64) { e.limit = limit }
+
+// Run processes events until none remain or the engine halts. It returns a
+// *DeadlockError if procs are still alive with an empty event queue, and a
+// *LimitError if the cycle limit is exceeded.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		if e.halted {
+			return nil
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		if e.limit != 0 && e.now > e.limit {
+			return &LimitError{Limit: e.limit}
+		}
+		if ev.proc != nil {
+			e.resume(ev.proc)
+		} else {
+			ev.fn()
+		}
+	}
+	if e.live > 0 {
+		return &DeadlockError{Cycle: e.now, Parked: e.parkedNames()}
+	}
+	return nil
+}
+
+func (e *Engine) parkedNames() []string {
+	// The engine does not keep a registry of procs; deadlock is rare and
+	// diagnostic-only, so report the count when names are unavailable.
+	return []string{fmt.Sprintf("%d live procs", e.live)}
+}
+
+// Queue is a FIFO wait queue for procs — the building block for the bus
+// arbiter, simulated mutexes, and condition variables.
+type Queue struct {
+	waiters []*Proc
+}
+
+// Wait appends the calling proc and parks it until woken.
+func (q *Queue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.Park()
+}
+
+// Len returns the number of parked waiters.
+func (q *Queue) Len() int { return len(q.waiters) }
+
+// WakeOne unparks the oldest waiter, if any, and reports whether one existed.
+func (q *Queue) WakeOne(e *Engine) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	e.Unpark(p)
+	return true
+}
+
+// WakeAll unparks every waiter in FIFO order.
+func (q *Queue) WakeAll(e *Engine) {
+	for _, p := range q.waiters {
+		e.Unpark(p)
+	}
+	q.waiters = q.waiters[:0]
+}
+
+// Mutex is a FIFO simulated-time mutex.
+type Mutex struct {
+	held bool
+	q    Queue
+}
+
+// Lock acquires the mutex, parking the proc until it is granted.
+func (m *Mutex) Lock(p *Proc) {
+	for m.held {
+		m.q.Wait(p)
+	}
+	m.held = true
+}
+
+// Unlock releases the mutex and wakes the next waiter.
+func (m *Mutex) Unlock(p *Proc) {
+	if !m.held {
+		panic("sim: unlock of unlocked mutex")
+	}
+	m.held = false
+	m.q.WakeOne(p.e)
+}

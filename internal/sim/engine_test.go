@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() { order = append(order, 2) })
+	e.Schedule(5, func() { order = append(order, 1) })
+	e.Schedule(10, func() { order = append(order, 3) }) // same cycle: FIFO
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %d, want 10", e.Now())
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	var at []uint64
+	e.Spawn("a", func(p *Proc) {
+		at = append(at, p.Now())
+		p.Sleep(7)
+		at = append(at, p.Now())
+		p.Sleep(0)
+		at = append(at, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 7, 7}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("at[%d] = %d, want %d", i, at[i], want[i])
+		}
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				trace = append(trace, "a")
+				p.Sleep(2)
+			}
+		})
+		e.Spawn("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				trace = append(trace, "b")
+				p.Sleep(3)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("trace length varies")
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("run %d: trace differs at %d: %v vs %v", i, j, got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := NewEngine()
+	var q Queue
+	var order []string
+	block := func(name string) {
+		e.Spawn(name, func(p *Proc) {
+			q.Wait(p)
+			order = append(order, name)
+		})
+	}
+	block("first")
+	block("second")
+	block("third")
+	e.Schedule(5, func() { q.WakeAll(e) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestQueueWakeOne(t *testing.T) {
+	e := NewEngine()
+	var q Queue
+	woken := 0
+	e.Spawn("w1", func(p *Proc) { q.Wait(p); woken++ })
+	e.Spawn("w2", func(p *Proc) { q.Wait(p); woken++ })
+	e.Schedule(1, func() { q.WakeOne(e) })
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError (one waiter left), got %v", err)
+	}
+	if woken != 1 {
+		t.Errorf("woken = %d, want 1", woken)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	e := NewEngine()
+	var m Mutex
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn("locker", func(p *Proc) {
+			for n := 0; n < 10; n++ {
+				m.Lock(p)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				p.Sleep(3)
+				inside--
+				m.Unlock(p)
+				p.Sleep(1)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Errorf("max procs inside critical section = %d", maxInside)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	var q Queue
+	e.Spawn("stuck", func(p *Proc) { q.Wait(p) })
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetLimit(100)
+	e.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Sleep(10)
+		}
+	})
+	err := e.Run()
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want LimitError, got %v", err)
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	e := NewEngine()
+	steps := 0
+	e.Spawn("victim", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			steps++
+			if i == 5 {
+				e.Halt("alarm")
+			}
+			p.Sleep(1)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	halted, msg := e.Halted()
+	if !halted || msg != "alarm" {
+		t.Errorf("Halted = %v %q", halted, msg)
+	}
+	if steps > 7 {
+		t.Errorf("ran %d steps after halt", steps)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine()
+	var childRan bool
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(5)
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(2)
+			childRan = true
+		})
+		p.Sleep(10)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Error("child never ran")
+	}
+	if e.Now() != 15 {
+		t.Errorf("Now = %d, want 15", e.Now())
+	}
+}
+
+func TestUnparkResumesAtCurrentCycle(t *testing.T) {
+	e := NewEngine()
+	var wakeTime uint64
+	var sleeper *Proc
+	sleeper = e.Spawn("sleeper", func(p *Proc) {
+		p.Park()
+		wakeTime = p.Now()
+	})
+	e.Schedule(42, func() { e.Unpark(sleeper) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakeTime != 42 {
+		t.Errorf("woke at %d, want 42", wakeTime)
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"senss/internal/rng"
+)
+
+// TestEngineRandomStress spawns a web of procs that randomly sleep, fight
+// over mutexes, wait on queues, and wake each other, then asserts clean
+// completion, monotonic time, and determinism across an identical re-run.
+func TestEngineRandomStress(t *testing.T) {
+	run := func(seed uint64) (uint64, uint64) {
+		e := NewEngine()
+		e.SetLimit(50_000_000)
+		var m1, m2 Mutex
+		var q Queue
+		var events uint64
+		var lastTime uint64
+		note := func(p *Proc) {
+			if p.Now() < lastTime {
+				t.Fatalf("time went backwards: %d < %d", p.Now(), lastTime)
+			}
+			lastTime = p.Now()
+			events++
+		}
+		const procs = 8
+		waitersPossible := 0
+		for i := 0; i < procs; i++ {
+			r := rng.New(seed + uint64(i)*977)
+			i := i
+			e.Spawn("stress", func(p *Proc) {
+				for op := 0; op < 300; op++ {
+					switch r.Intn(5) {
+					case 0:
+						p.Sleep(uint64(r.Intn(50)))
+					case 1:
+						m1.Lock(p)
+						note(p)
+						p.Sleep(uint64(r.Intn(5)))
+						m1.Unlock(p)
+					case 2:
+						m2.Lock(p)
+						note(p)
+						m2.Unlock(p)
+					case 3:
+						// Park on the queue only if someone will be around
+						// to wake us: even procs park, odd procs wake.
+						if i%2 == 0 && waitersPossible < 3 {
+							waitersPossible++
+							q.Wait(p)
+							waitersPossible--
+							note(p)
+						}
+					default:
+						q.WakeOne(e)
+						note(p)
+						p.Sleep(1)
+					}
+				}
+				// Drain any parked siblings so the engine can finish.
+				for q.WakeAll(e); q.Len() > 0; {
+					p.Sleep(1)
+				}
+			})
+		}
+		// Final sweeper ensures no one stays parked forever.
+		e.Spawn("sweeper", func(p *Proc) {
+			for i := 0; i < 40_000; i++ {
+				p.Sleep(25)
+				q.WakeAll(e)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return e.Now(), events
+	}
+	c1, e1 := run(42)
+	c2, e2 := run(42)
+	if c1 != c2 || e1 != e2 {
+		t.Errorf("nondeterministic stress run: (%d,%d) vs (%d,%d)", c1, e1, c2, e2)
+	}
+	if e1 == 0 {
+		t.Error("stress run did nothing")
+	}
+}

@@ -1,0 +1,162 @@
+// Package stats defines the measurement record produced by a simulation
+// run and the derived metrics the paper reports (percentage slowdown,
+// bus-activity increase).
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Run aggregates the counters of one simulation.
+type Run struct {
+	Workload string
+	Procs    int
+	Label    string // configuration tag, e.g. "base" or "senss"
+
+	Cycles uint64 // total simulated cycles until the last thread finished
+
+	// Bus activity.
+	BusTotal   uint64            // all bus transactions
+	BusByKind  map[string]uint64 // per transaction kind
+	C2C        uint64            // cache-to-cache data transfers
+	MemFills   uint64            // memory-supplied fills
+	BusBusy    uint64            // cycles the bus was held
+	ArbWaits   uint64            // requests that waited for the bus
+	ArbWaitCyc uint64            // total cycles spent waiting for grants
+	ArbWaitMax uint64            // worst single arbitration wait
+	BusData    uint64            // data bytes moved
+	ExtraBus   uint64            // security cycles charged on the bus
+	AuthMsgs   uint64            // SENSS authentication broadcasts
+	AuthUps    uint64            // adaptive interval doublings
+	AuthDowns  uint64            // adaptive interval halvings
+	PadMsgs    uint64            // memsec pad coherence messages
+	MaskStalls uint64            // cycles senders waited for masks
+
+	// Cache behaviour (summed over nodes).
+	L1DHits, L1DMisses  uint64
+	L1IHits, L1IMisses  uint64
+	L2Hits, L2Misses    uint64
+	Loads, Stores, RMWs uint64
+
+	// Protection-layer work.
+	HashOps     uint64 // integrity hash computations
+	HashFetches uint64 // hash-tree lines fetched from memory
+	PadHits     uint64
+	PadMisses   uint64
+
+	// Detection outcomes (attack experiments).
+	Halted     bool
+	HaltReason string
+}
+
+// SlowdownPct returns the percentage slowdown of r relative to base.
+func SlowdownPct(base, r Run) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return (float64(r.Cycles)/float64(base.Cycles) - 1) * 100
+}
+
+// TrafficIncreasePct returns the percentage increase in total bus
+// transactions of r relative to base.
+func TrafficIncreasePct(base, r Run) float64 {
+	if base.BusTotal == 0 {
+		return 0
+	}
+	return (float64(r.BusTotal)/float64(base.BusTotal) - 1) * 100
+}
+
+// C2CShare returns the fraction of bus transactions that were
+// cache-to-cache transfers (the bound on Figure 9's traffic increase at
+// interval 1).
+func (r Run) C2CShare() float64 {
+	if r.BusTotal == 0 {
+		return 0
+	}
+	return float64(r.C2C) / float64(r.BusTotal)
+}
+
+// String renders a compact one-line summary.
+func (r Run) String() string {
+	return fmt.Sprintf("%s/%dP[%s]: %d cycles, %d bus txns (%d c2c, %d auth, %d pad)",
+		r.Workload, r.Procs, r.Label, r.Cycles, r.BusTotal, r.C2C, r.AuthMsgs, r.PadMsgs)
+}
+
+// Table formats rows of (name, values...) with a header, for the cmd tools.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render produces aligned text output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown (the format
+// EXPERIMENTS.md uses), with the title as a bold caption line.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	row := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	row(t.Columns)
+	b.WriteString("|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}

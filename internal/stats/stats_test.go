@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func almost(got, want float64) bool {
+	d := got - want
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestSlowdownPct(t *testing.T) {
+	base := Run{Cycles: 1000}
+	sec := Run{Cycles: 1020}
+	if got := SlowdownPct(base, sec); !almost(got, 2.0) {
+		t.Errorf("SlowdownPct = %v, want 2", got)
+	}
+	if got := SlowdownPct(Run{}, sec); got != 0 {
+		t.Errorf("zero base should yield 0, got %v", got)
+	}
+	faster := Run{Cycles: 990}
+	if got := SlowdownPct(base, faster); !almost(got, -1.0) {
+		t.Errorf("speedup = %v, want -1", got)
+	}
+}
+
+func TestTrafficIncreasePct(t *testing.T) {
+	base := Run{BusTotal: 200}
+	sec := Run{BusTotal: 300}
+	if got := TrafficIncreasePct(base, sec); got != 50.0 {
+		t.Errorf("TrafficIncreasePct = %v", got)
+	}
+	if got := TrafficIncreasePct(Run{}, sec); got != 0 {
+		t.Errorf("zero base should yield 0, got %v", got)
+	}
+}
+
+func TestC2CShare(t *testing.T) {
+	r := Run{BusTotal: 100, C2C: 46}
+	if got := r.C2CShare(); got != 0.46 {
+		t.Errorf("C2CShare = %v", got)
+	}
+	if (Run{}).C2CShare() != 0 {
+		t.Error("empty run share should be 0")
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := Run{Workload: "fft", Procs: 4, Label: "senss", Cycles: 10, BusTotal: 5}
+	s := r.String()
+	for _, want := range []string{"fft", "4P", "senss", "10 cycles"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"name", "value"}}
+	tab.Add("short", "1")
+	tab.Add("a-much-longer-name", "2")
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows → 5? title+header+rule+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("rendered %d lines: %q", len(lines), out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Error("title missing")
+	}
+	// All data rows must be at least as wide as the widest cell.
+	if len(lines[3]) < len("a-much-longer-name") {
+		t.Error("column not widened to fit")
+	}
+	if !strings.Contains(out, "----") {
+		t.Error("header rule missing")
+	}
+}
+
+func TestTableRenderWithoutTitle(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}}
+	tab.Add("x")
+	out := tab.Render()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("leading blank line for untitled table")
+	}
+	if !strings.Contains(out, "x") {
+		t.Error("row missing")
+	}
+}

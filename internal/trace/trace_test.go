@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"senss/internal/bus"
+)
+
+func sample() []Event {
+	return []Event{
+		{Cycle: 100, Kind: "BusRd", Addr: 0x40, Src: 0, GID: 1, Supplier: -1},
+		{Cycle: 220, Kind: "BusRd", Addr: 0x80, Src: 1, GID: 1, Supplier: 0, C2C: true},
+		{Cycle: 400, Kind: "BusUpgr", Addr: 0x40, Src: 2, GID: 1},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := &Recorder{Events: sample()}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("round trip lost events: %d", len(got))
+	}
+	for i := range got {
+		if got[i] != r.Events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got[i], r.Events[i])
+		}
+	}
+}
+
+func TestRecorderObservesTransactions(t *testing.T) {
+	r := NewRecorder(0)
+	txn := &bus.Transaction{Kind: bus.Rd, Addr: 0x1000, Src: 2, GID: 5}
+	txn.SupplierID = 1
+	if cost := r.OnTransaction(nil, txn); cost != 0 {
+		t.Errorf("recorder charged %d cycles", cost)
+	}
+	if len(r.Events) != 1 {
+		t.Fatal("event not recorded")
+	}
+	e := r.Events[0]
+	if e.Kind != "BusRd" || e.Src != 2 || e.GID != 5 || !e.C2C {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.OnTransaction(nil, &bus.Transaction{Kind: bus.WB, SupplierID: -1})
+	}
+	if len(r.Events) != 2 || r.Dropped != 3 {
+		t.Errorf("kept %d, dropped %d", len(r.Events), r.Dropped)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sample())
+	if s.Total != 3 || s.C2C != 1 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.ByKind["BusRd"] != 2 || s.ByKind["BusUpgr"] != 1 {
+		t.Errorf("kinds %v", s.ByKind)
+	}
+	if s.MeanGap != 150 { // (400-100)/2
+		t.Errorf("mean gap %v", s.MeanGap)
+	}
+	if s.BySrc[0] != 1 || s.BySrc[1] != 1 || s.BySrc[2] != 1 {
+		t.Errorf("sources %v", s.BySrc)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Total != 0 || s.MeanGap != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+}
+
+func TestHotLines(t *testing.T) {
+	events := []Event{
+		{Cycle: 1, Kind: "BusRd", Addr: 0x100, Src: 0, C2C: true},
+		{Cycle: 2, Kind: "BusRdX", Addr: 0x100, Src: 1, C2C: true},
+		{Cycle: 3, Kind: "BusRd", Addr: 0x100, Src: 0},
+		{Cycle: 4, Kind: "BusRd", Addr: 0x200, Src: 2},
+		{Cycle: 5, Kind: "BusAuth", Addr: 0x100, Src: 3}, // excluded
+	}
+	hot := HotLines(events, 10)
+	if len(hot) != 2 {
+		t.Fatalf("hot lines = %d", len(hot))
+	}
+	if hot[0].Addr != 0x100 || hot[0].Accesses != 3 || hot[0].C2C != 2 || hot[0].Requesters != 2 {
+		t.Errorf("top line = %+v", hot[0])
+	}
+	if hot[1].Addr != 0x200 {
+		t.Errorf("second line = %+v", hot[1])
+	}
+	if got := HotLines(events, 1); len(got) != 1 {
+		t.Errorf("top-1 returned %d", len(got))
+	}
+}
+
+func TestGapHistogram(t *testing.T) {
+	events := []Event{
+		{Cycle: 0}, {Cycle: 1}, {Cycle: 3}, {Cycle: 11}, {Cycle: 139},
+	}
+	h := GapHistogram(events)
+	// gaps: 1 (bucket 0), 2 (bucket 1), 8 (bucket 3), 128 (bucket 7)
+	for bucket, want := range map[int]int{0: 1, 1: 1, 3: 1, 7: 1} {
+		if h[bucket] != want {
+			t.Errorf("bucket %d = %d, want %d (hist %v)", bucket, h[bucket], want, h)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	var buf bytes.Buffer
+	Summarize(sample()).Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"transactions: 3", "BusRd", "BusUpgr", "cpu0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"senss/internal/cpu"
+	"senss/internal/machine"
+	"senss/internal/psync"
+)
+
+// Cholesky is a SPLASH2 "cholesky" stand-in: the dense right-looking
+// Cholesky factorization A = L·Lᵀ of a symmetric positive-definite
+// matrix. Step k's owner computes the pivot column; all threads then
+// update their interleaved share of the trailing submatrix, consuming the
+// freshly produced column — the same producer-consumer column broadcast
+// as LU, plus a serial sqrt on the critical path.
+type Cholesky struct {
+	n int
+
+	a      array // n×n row-major (lower triangle factored in place)
+	barMem uint64
+	bar    *psync.Barrier
+
+	orig []float64
+}
+
+// NewCholesky builds the cholesky workload at the given scale.
+func NewCholesky(size Size) *Cholesky {
+	n := 20
+	if size == SizeBench {
+		n = 40
+	}
+	return &Cholesky{n: n}
+}
+
+// Name implements Workload.
+func (w *Cholesky) Name() string { return "cholesky" }
+
+func (w *Cholesky) idx(i, j int) uint64 { return w.a.at(i*w.n + j) }
+
+// Setup implements Workload.
+func (w *Cholesky) Setup(m *machine.Machine, procs int) []cpu.Program {
+	n := w.n
+	w.a = alloc(m, n*n)
+	w.barMem = m.Alloc(64)
+	w.bar = psync.NewBarrier(w.barMem, procs)
+
+	// Build a symmetric positive-definite matrix A = B·Bᵀ + n·I.
+	r := m.Rand()
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = r.Float64()*2 - 1
+	}
+	w.orig = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += b[i*n+k] * b[j*n+k]
+			}
+			if i == j {
+				sum += float64(n)
+			}
+			w.orig[i*n+j] = sum
+			m.InitFloat(w.idx(i, j), sum)
+		}
+	}
+
+	progs := make([]cpu.Program, procs)
+	for tid := 0; tid < procs; tid++ {
+		tid := tid
+		progs[tid] = func(c *cpu.Port) { w.thread(c, tid, procs) }
+	}
+	return progs
+}
+
+func (w *Cholesky) thread(c *cpu.Port, tid, procs int) {
+	n := w.n
+	var ctx psync.Context
+	for k := 0; k < n; k++ {
+		// Owner factors column k: L[k][k] = sqrt(a_kk), L[i][k] /= L[k][k].
+		if k%procs == tid {
+			akk := c.LoadFloat(w.idx(k, k))
+			lkk := math.Sqrt(akk)
+			c.StoreFloat(w.idx(k, k), lkk)
+			for i := k + 1; i < n; i++ {
+				c.StoreFloat(w.idx(i, k), c.LoadFloat(w.idx(i, k))/lkk)
+			}
+		}
+		w.bar.Wait(c, &ctx)
+
+		// Trailing update: a_ij -= L[i][k]·L[j][k] for j ≤ i, rows
+		// interleaved across threads.
+		for i := k + 1; i < n; i++ {
+			if i%procs != tid {
+				continue
+			}
+			lik := c.LoadFloat(w.idx(i, k))
+			for j := k + 1; j <= i; j++ {
+				c.StoreFloat(w.idx(i, j),
+					c.LoadFloat(w.idx(i, j))-lik*c.LoadFloat(w.idx(j, k)))
+			}
+		}
+		w.bar.Wait(c, &ctx)
+	}
+}
+
+// Validate implements Workload: L·Lᵀ must reconstruct the original matrix.
+func (w *Cholesky) Validate(m *machine.Machine) error {
+	n := w.n
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			l[i*n+j] = m.ReadFloat(w.idx(i, j))
+		}
+	}
+	var worst float64
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var sum float64
+			for k := 0; k <= j; k++ {
+				sum += l[i*n+k] * l[j*n+k]
+			}
+			if d := math.Abs(sum - w.orig[i*n+j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-8*float64(n) {
+		return fmt.Errorf("cholesky: reconstruction error %.3g", worst)
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+
+	"senss/internal/cpu"
+	"senss/internal/machine"
+	"senss/internal/psync"
+)
+
+// FalseSharing has every thread hammer its own word of one shared cache
+// line — maximal invalidation ping-pong with no true communication. It is
+// the Figure 11 / §7.8 microbenchmark: tiny timing perturbations reorder
+// the interleaving and visibly change hit/miss patterns.
+type FalseSharing struct {
+	iters int
+	line  array
+	procs int
+}
+
+// NewFalseSharing builds the false-sharing microbenchmark.
+func NewFalseSharing(size Size) *FalseSharing {
+	iters := 200
+	if size == SizeBench {
+		iters = 1000
+	}
+	return &FalseSharing{iters: iters}
+}
+
+// Name implements Workload.
+func (w *FalseSharing) Name() string { return "falseshare" }
+
+// Setup implements Workload.
+func (w *FalseSharing) Setup(m *machine.Machine, procs int) []cpu.Program {
+	w.procs = procs
+	w.line = alloc(m, 8) // one 64-byte line: 8 words
+	progs := make([]cpu.Program, procs)
+	for tid := 0; tid < procs; tid++ {
+		tid := tid
+		progs[tid] = func(c *cpu.Port) {
+			word := w.line.at(tid % 8)
+			for k := 0; k < w.iters; k++ {
+				c.Store(word, c.Load(word)+1)
+			}
+		}
+	}
+	return progs
+}
+
+// Validate implements Workload.
+func (w *FalseSharing) Validate(m *machine.Machine) error {
+	for tid := 0; tid < w.procs && tid < 8; tid++ {
+		want := uint64(w.iters)
+		// Multiple threads share a word when procs > 8.
+		n := 0
+		for t := tid; t < w.procs; t += 8 {
+			n++
+		}
+		want *= uint64(n)
+		if got := m.ReadWord(w.line.at(tid)); got != want {
+			return fmt.Errorf("falseshare: word %d = %d, want %d", tid, got, want)
+		}
+	}
+	return nil
+}
+
+// ProducerConsumer streams items through a shared ring buffer from even
+// to odd threads — pure point-to-point cache-to-cache traffic.
+type ProducerConsumer struct {
+	items int
+	ring  array
+	head  array // producer cursor, consumer cursor (separate lines)
+	sum   array // per-consumer checksums
+	procs int
+}
+
+// ringSlots is the ring capacity in items.
+const ringSlots = 16
+
+// NewProducerConsumer builds the streaming microbenchmark.
+func NewProducerConsumer(size Size) *ProducerConsumer {
+	items := 300
+	if size == SizeBench {
+		items = 1500
+	}
+	return &ProducerConsumer{items: items}
+}
+
+// Name implements Workload.
+func (w *ProducerConsumer) Name() string { return "prodcons" }
+
+// Setup implements Workload.
+func (w *ProducerConsumer) Setup(m *machine.Machine, procs int) []cpu.Program {
+	if procs < 2 {
+		procs = 2
+	}
+	w.procs = procs
+	pairs := procs / 2
+	w.ring = alloc(m, pairs*ringSlots)
+	w.head = alloc(m, pairs*16) // head and tail on separate lines per pair
+	w.sum = alloc(m, pairs)
+
+	progs := make([]cpu.Program, procs)
+	for pair := 0; pair < pairs; pair++ {
+		pair := pair
+		headAddr := w.head.at(pair * 16)
+		tailAddr := w.head.at(pair*16 + 8)
+		slot := func(i uint64) uint64 { return w.ring.at(pair*ringSlots + int(i%ringSlots)) }
+		progs[2*pair] = func(c *cpu.Port) { // producer
+			for i := uint64(1); i <= uint64(w.items); i++ {
+				for c.Load(headAddr)-c.Load(tailAddr) >= ringSlots {
+					c.Think(20)
+				}
+				h := c.Load(headAddr)
+				c.Store(slot(h), i*3)
+				c.Store(headAddr, h+1)
+			}
+		}
+		progs[2*pair+1] = func(c *cpu.Port) { // consumer
+			var sum uint64
+			for i := 0; i < w.items; i++ {
+				for c.Load(headAddr) == c.Load(tailAddr) {
+					c.Think(20)
+				}
+				t := c.Load(tailAddr)
+				sum += c.Load(slot(t))
+				c.Store(tailAddr, t+1)
+			}
+			c.Store(w.sum.at(pair), sum)
+		}
+	}
+	return progs
+}
+
+// Validate implements Workload.
+func (w *ProducerConsumer) Validate(m *machine.Machine) error {
+	pairs := w.procs / 2
+	n := uint64(w.items)
+	want := 3 * n * (n + 1) / 2
+	for pair := 0; pair < pairs; pair++ {
+		if got := m.ReadWord(w.sum.at(pair)); got != want {
+			return fmt.Errorf("prodcons: pair %d checksum %d, want %d", pair, got, want)
+		}
+	}
+	return nil
+}
+
+// LockContention has all threads fight over one spinlock protecting a
+// shared counter — the lock line and counter line bounce on every
+// critical section.
+type LockContention struct {
+	iters   int
+	lock    *psync.Lock
+	counter array
+	procs   int
+}
+
+// NewLockContention builds the lock-contention microbenchmark.
+func NewLockContention(size Size) *LockContention {
+	iters := 100
+	if size == SizeBench {
+		iters = 500
+	}
+	return &LockContention{iters: iters}
+}
+
+// Name implements Workload.
+func (w *LockContention) Name() string { return "lockcontend" }
+
+// Setup implements Workload.
+func (w *LockContention) Setup(m *machine.Machine, procs int) []cpu.Program {
+	w.procs = procs
+	w.lock = psync.NewLock(m.Alloc(64))
+	w.counter = alloc(m, 8)
+	progs := make([]cpu.Program, procs)
+	for tid := 0; tid < procs; tid++ {
+		progs[tid] = func(c *cpu.Port) {
+			for k := 0; k < w.iters; k++ {
+				w.lock.Acquire(c)
+				c.Store(w.counter.at(0), c.Load(w.counter.at(0))+1)
+				w.lock.Release(c)
+			}
+		}
+	}
+	return progs
+}
+
+// Validate implements Workload.
+func (w *LockContention) Validate(m *machine.Machine) error {
+	want := uint64(w.procs * w.iters)
+	if got := m.ReadWord(w.counter.at(0)); got != want {
+		return fmt.Errorf("lockcontend: counter %d, want %d", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"senss/internal/cpu"
+	"senss/internal/machine"
+	"senss/internal/psync"
+)
+
+// Radix is the SPLASH2 "radix" stand-in: a parallel radix sort of 32-bit
+// keys, digit by digit.  Each pass builds per-thread histograms privately,
+// merges them into global digit offsets (serialized by a barrier), then
+// scatters keys into the destination array — the scatter's scattered
+// writes are the benchmark's notorious all-to-all communication.
+type Radix struct {
+	n      int
+	digits int
+	bits   uint
+
+	src, dst array
+	hist     array // procs × radix counters
+	barMem   uint64
+	bar      *psync.Barrier
+
+	input []uint64
+}
+
+// NewRadix builds the radix workload at the given scale.
+func NewRadix(size Size) *Radix {
+	n := 1024
+	if size == SizeBench {
+		n = 4096
+	}
+	return &Radix{n: n, digits: 4, bits: 8}
+}
+
+// Name implements Workload.
+func (w *Radix) Name() string { return "radix" }
+
+// Setup implements Workload.
+func (w *Radix) Setup(m *machine.Machine, procs int) []cpu.Program {
+	radix := 1 << w.bits
+	w.src = alloc(m, w.n)
+	w.dst = alloc(m, w.n)
+	w.hist = alloc(m, procs*radix)
+	w.barMem = m.Alloc(64)
+	w.bar = psync.NewBarrier(w.barMem, procs)
+
+	r := m.Rand()
+	w.input = make([]uint64, w.n)
+	for i := range w.input {
+		w.input[i] = uint64(r.Uint32())
+		m.InitWord(w.src.at(i), w.input[i])
+	}
+
+	progs := make([]cpu.Program, procs)
+	for tid := 0; tid < procs; tid++ {
+		tid := tid
+		progs[tid] = func(c *cpu.Port) { w.thread(c, tid, procs) }
+	}
+	return progs
+}
+
+func (w *Radix) thread(c *cpu.Port, tid, procs int) {
+	radix := 1 << w.bits
+	var ctx psync.Context
+	src, dst := w.src, w.dst
+	lo, hi := chunk(w.n, procs, tid)
+
+	for pass := 0; pass < w.digits; pass++ {
+		shift := uint(pass) * w.bits
+
+		// Local histogram (private region of the shared hist array).
+		for d := 0; d < radix; d++ {
+			c.Store(w.hist.at(tid*radix+d), 0)
+		}
+		for i := lo; i < hi; i++ {
+			key := c.Load(src.at(i))
+			d := int(key>>shift) & (radix - 1)
+			slot := w.hist.at(tid*radix + d)
+			c.Store(slot, c.Load(slot)+1)
+		}
+		w.bar.Wait(c, &ctx)
+
+		// Thread 0 turns the histograms into global scatter offsets: for
+		// digit d, thread t starts at Σ(all counts of smaller digits) +
+		// Σ(counts of d from threads < t).
+		if tid == 0 {
+			offset := uint64(0)
+			for d := 0; d < radix; d++ {
+				for t := 0; t < procs; t++ {
+					slot := w.hist.at(t*radix + d)
+					count := c.Load(slot)
+					c.Store(slot, offset)
+					offset += count
+				}
+			}
+		}
+		w.bar.Wait(c, &ctx)
+
+		// Scatter: stable within a thread's contiguous range.
+		for i := lo; i < hi; i++ {
+			key := c.Load(src.at(i))
+			d := int(key>>shift) & (radix - 1)
+			slot := w.hist.at(tid*radix + d)
+			pos := c.Load(slot)
+			c.Store(slot, pos+1)
+			c.Store(dst.at(int(pos)), key)
+		}
+		w.bar.Wait(c, &ctx)
+
+		src, dst = dst, src
+	}
+	// digits is even, so the sorted data ends in w.src.
+}
+
+// Validate implements Workload.
+func (w *Radix) Validate(m *machine.Machine) error {
+	want := append([]uint64(nil), w.input...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := 0; i < w.n; i++ {
+		got := m.ReadWord(w.src.at(i))
+		if got != want[i] {
+			return fmt.Errorf("radix: element %d = %d, want %d", i, got, want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"senss/internal/cpu"
+	"senss/internal/machine"
+	"senss/internal/psync"
+)
+
+// Water is a SPLASH2 "water-nsquared" stand-in: molecular dynamics with
+// O(n²) pairwise short-range forces. Each thread owns a contiguous slice
+// of molecules, reads every other molecule's position each step (all-to-
+// all read sharing of the position arrays), accumulates forces privately,
+// and integrates its own molecules after a barrier.
+type Water struct {
+	n     int
+	steps int
+
+	px, py, vx, vy, fx, fy array
+	barMem                 uint64
+	bar                    *psync.Barrier
+
+	initPx, initPy, initVx, initVy []float64
+}
+
+// Force-field constants (arbitrary but stable for the step size).
+const (
+	waterEps   = 1e-4
+	waterSigma = 0.25
+	waterDt    = 0.005
+)
+
+// NewWater builds the water workload at the given scale.
+func NewWater(size Size) *Water {
+	n := 24
+	if size == SizeBench {
+		n = 64
+	}
+	return &Water{n: n, steps: 2}
+}
+
+// Name implements Workload.
+func (w *Water) Name() string { return "water" }
+
+// Setup implements Workload.
+func (w *Water) Setup(m *machine.Machine, procs int) []cpu.Program {
+	n := w.n
+	w.px = alloc(m, n)
+	w.py = alloc(m, n)
+	w.vx = alloc(m, n)
+	w.vy = alloc(m, n)
+	w.fx = alloc(m, n)
+	w.fy = alloc(m, n)
+	w.barMem = m.Alloc(64)
+	w.bar = psync.NewBarrier(w.barMem, procs)
+
+	r := m.Rand()
+	for i := 0; i < n; i++ {
+		// Lattice positions with a small jitter keep molecules separated.
+		px := float64(i%8) + 0.2*r.Float64()
+		py := float64(i/8) + 0.2*r.Float64()
+		vx := (r.Float64()*2 - 1) * 0.05
+		vy := (r.Float64()*2 - 1) * 0.05
+		w.initPx = append(w.initPx, px)
+		w.initPy = append(w.initPy, py)
+		w.initVx = append(w.initVx, vx)
+		w.initVy = append(w.initVy, vy)
+		m.InitFloat(w.px.at(i), px)
+		m.InitFloat(w.py.at(i), py)
+		m.InitFloat(w.vx.at(i), vx)
+		m.InitFloat(w.vy.at(i), vy)
+	}
+	progs := make([]cpu.Program, procs)
+	for tid := 0; tid < procs; tid++ {
+		tid := tid
+		progs[tid] = func(c *cpu.Port) { w.thread(c, tid, procs) }
+	}
+	return progs
+}
+
+// ljForce is the pair force of the (simplified) Lennard-Jones potential.
+func ljForce(dx, dy float64) (fx, fy float64) {
+	r2 := dx*dx + dy*dy + 1e-6
+	s2 := waterSigma * waterSigma / r2
+	s6 := s2 * s2 * s2
+	mag := 24 * waterEps * (2*s6*s6 - s6) / r2
+	return mag * dx, mag * dy
+}
+
+func (w *Water) thread(c *cpu.Port, tid, procs int) {
+	n := w.n
+	var ctx psync.Context
+	lo, hi := chunk(n, procs, tid)
+
+	for step := 0; step < w.steps; step++ {
+		// Force phase: each thread accumulates the force on its own
+		// molecules, reading every position (O(n²/P) pair evaluations).
+		for i := lo; i < hi; i++ {
+			xi := c.LoadFloat(w.px.at(i))
+			yi := c.LoadFloat(w.py.at(i))
+			var fx, fy float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				dx := xi - c.LoadFloat(w.px.at(j))
+				dy := yi - c.LoadFloat(w.py.at(j))
+				px, py := ljForce(dx, dy)
+				fx += px
+				fy += py
+			}
+			c.StoreFloat(w.fx.at(i), fx)
+			c.StoreFloat(w.fy.at(i), fy)
+		}
+		w.bar.Wait(c, &ctx)
+
+		// Integration phase: own molecules only.
+		for i := lo; i < hi; i++ {
+			vx := c.LoadFloat(w.vx.at(i)) + waterDt*c.LoadFloat(w.fx.at(i))
+			vy := c.LoadFloat(w.vy.at(i)) + waterDt*c.LoadFloat(w.fy.at(i))
+			c.StoreFloat(w.vx.at(i), vx)
+			c.StoreFloat(w.vy.at(i), vy)
+			c.StoreFloat(w.px.at(i), c.LoadFloat(w.px.at(i))+waterDt*vx)
+			c.StoreFloat(w.py.at(i), c.LoadFloat(w.py.at(i))+waterDt*vy)
+		}
+		w.bar.Wait(c, &ctx)
+	}
+}
+
+// Validate implements Workload: the force accumulation order within one
+// molecule is deterministic (j ascending), so the simulated trajectory
+// must match a host-side replay bit for bit.
+func (w *Water) Validate(m *machine.Machine) error {
+	n := w.n
+	px := append([]float64(nil), w.initPx...)
+	py := append([]float64(nil), w.initPy...)
+	vx := append([]float64(nil), w.initVx...)
+	vy := append([]float64(nil), w.initVy...)
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	for step := 0; step < w.steps; step++ {
+		for i := 0; i < n; i++ {
+			var sx, sy float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				gx, gy := ljForce(px[i]-px[j], py[i]-py[j])
+				sx += gx
+				sy += gy
+			}
+			fx[i], fy[i] = sx, sy
+		}
+		for i := 0; i < n; i++ {
+			vx[i] += waterDt * fx[i]
+			vy[i] += waterDt * fy[i]
+			px[i] += waterDt * vx[i]
+			py[i] += waterDt * vy[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		gx := m.ReadFloat(w.px.at(i))
+		gy := m.ReadFloat(w.py.at(i))
+		if math.Abs(gx-px[i]) > 1e-12 || math.Abs(gy-py[i]) > 1e-12 {
+			return fmt.Errorf("water: molecule %d at (%g,%g), want (%g,%g)", i, gx, gy, px[i], py[i])
+		}
+	}
+	return nil
+}
