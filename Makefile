@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet lint race verify clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+lint: build
+	$(GO) run ./cmd/senss-lint ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full pre-merge gate: everything CI runs, in order of
+# increasing cost.
+verify: build vet lint test race
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,161 @@
+// Command senss-lint runs the repository's domain-specific static-analysis
+// suite (package internal/lint) over the module: determinism, banned
+// nondeterminism primitives, secret hygiene, cycle accounting, and error
+// discipline.
+//
+// Usage:
+//
+//	senss-lint [-json] [-skip prefix[,prefix...]] [-list] [patterns]
+//
+// Patterns are module-relative package paths; "./..." (the default) means
+// every package, "./internal/bus" one package, "./internal/..." a subtree.
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Deliberate exceptions are waived in source with
+//
+//	//senss-lint:ignore <analyzer> <reason>
+//
+// directives; a waiver without a reason is itself a finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"senss/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	skip := flag.String("skip", "", "comma-separated module-relative path prefixes to skip")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Registry()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "senss-lint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "senss-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "senss-lint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var selected []*lint.Package
+	for _, pkg := range pkgs {
+		if matchesAny(pkg.RelPath, patterns) && !skipped(pkg.RelPath, *skip) {
+			selected = append(selected, pkg)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "senss-lint: no packages match", patterns)
+		os.Exit(2)
+	}
+
+	for _, pkg := range selected {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "senss-lint: warning: %s: type checking: %v\n", pkg.ImportPath, terr)
+		}
+	}
+
+	diags := lint.RunAnalyzers(analyzers, selected)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "senss-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relToRoot(root, d.Pos.Filename)
+			fmt.Println(d)
+		}
+		fmt.Printf("senss-lint: %d package(s), %d finding(s)\n", len(selected), len(diags))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// matchesAny implements the ./... pattern subset the driver supports.
+func matchesAny(relPath string, patterns []string) bool {
+	for _, p := range patterns {
+		p = strings.TrimPrefix(p, "./")
+		if p == "..." || p == "" {
+			return true
+		}
+		if sub, ok := strings.CutSuffix(p, "/..."); ok {
+			if relPath == sub || strings.HasPrefix(relPath, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if relPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// skipped applies the -skip prefix list.
+func skipped(relPath, skip string) bool {
+	if skip == "" {
+		return false
+	}
+	for _, p := range strings.Split(skip, ",") {
+		p = strings.TrimSpace(strings.TrimPrefix(p, "./"))
+		if p != "" && (relPath == p || strings.HasPrefix(relPath, p+"/")) {
+			return true
+		}
+	}
+	return false
+}
+
+// relToRoot shortens absolute diagnostic paths for terminal output.
+func relToRoot(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

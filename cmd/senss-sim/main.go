@@ -143,8 +143,12 @@ func runTraced(name string, size senss.Size, cfg senss.Config, path string, limi
 	if err != nil {
 		fail(err)
 	}
-	defer f.Close()
 	if err := m.Trace.WriteJSONL(f); err != nil {
+		fail(err)
+	}
+	// An unchecked Close on a written file can silently lose buffered
+	// output.
+	if err := f.Close(); err != nil {
 		fail(err)
 	}
 	printRun(run)

@@ -27,8 +27,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "senss-trace:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
 	events, err := trace.ReadJSONL(f)
+	_ = f.Close() // read-only; a close failure cannot corrupt anything
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "senss-trace:", err)
 		os.Exit(1)

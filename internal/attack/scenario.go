@@ -61,7 +61,7 @@ func protocolRig(seed uint64, params core.Params) (*core.System, int, func(n int
 	drive := func(n int) {
 		for i := 0; i < n && !sys.Detected(); i++ {
 			line := make([]byte, 64)
-			r.Read(line)
+			r.Fill(line)
 			t := c2cTransaction(gid, i%4, (i+1)%4, line)
 			sys.OnTransaction(nil, t)
 		}
@@ -188,7 +188,7 @@ func Scenarios() []Scenario {
 				sys, _, drive := protocolRig(seed, params)
 				r := rng.New(seed + 99)
 				payload := make([]byte, 64)
-				r.Read(payload)
+				r.Fill(payload)
 				sys.SetTamperer(&Spoofer{AtSeq: 1, Victim: 3, ClaimedPID: 2,
 					Payload: core.LineToBlocks(payload)})
 				drive(25)
@@ -203,7 +203,7 @@ func Scenarios() []Scenario {
 				sys, _, drive := protocolRig(seed, params)
 				r := rng.New(seed + 100)
 				payload := make([]byte, 64)
-				r.Read(payload)
+				r.Fill(payload)
 				sys.SetTamperer(&Spoofer{AtSeq: 0, Victim: 2, ClaimedPID: 2,
 					Payload: core.LineToBlocks(payload)})
 				drive(5)

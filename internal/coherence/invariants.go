@@ -2,9 +2,31 @@ package coherence
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"sort"
 
 	"senss/internal/cache"
+)
+
+// Each MOESI violation class has a distinct sentinel, so tests and callers
+// can assert the exact failure with errors.Is.
+var (
+	// ErrExclusivity: a line is held M or E while another valid copy
+	// exists, or by two dirty-exclusive holders at once.
+	ErrExclusivity = errors.New("coherence: M/E exclusivity violation")
+	// ErrOwnedDirty: a line is Owned while another node holds it dirty
+	// (M/E) — co-holders of an Owned line must all be Shared.
+	ErrOwnedDirty = errors.New("coherence: Owned line with dirty co-holder")
+	// ErrMultipleOwners: more than one node holds the same line Owned.
+	ErrMultipleOwners = errors.New("coherence: multiple Owned copies")
+	// ErrDivergentCopies: two valid cached copies of a line differ.
+	ErrDivergentCopies = errors.New("coherence: cached copies diverge")
+	// ErrStaleMemory: no dirty copy exists, yet cached data differs from
+	// memory.
+	ErrStaleMemory = errors.New("coherence: clean copies differ from memory")
+	// ErrInclusion: an L1 holds a line its L2 does not back.
+	ErrInclusion = errors.New("coherence: L1 line not present in L2")
 )
 
 // MemReader reads the current (decrypted) contents of the memory line at
@@ -22,6 +44,10 @@ type MemReader func(addr uint64, dst []byte)
 //   - when no dirty (M/O) copy exists, cached data equals memory.
 //
 // It is called from tests and (optionally) periodically by the machine.
+// Lines are visited in ascending address order, so for a given state the
+// same violation is reported first on every run (DESIGN.md §6 requires
+// reproducible output). The returned error wraps the sentinel of the
+// violated class.
 func CheckInvariants(nodes []*Node, readMem MemReader) error {
 	type holder struct {
 		node  *Node
@@ -34,7 +60,13 @@ func CheckInvariants(nodes []*Node, readMem MemReader) error {
 			byLine[addr] = append(byLine[addr], holder{n, l.State, l.Data})
 		})
 	}
-	for addr, hs := range byLine {
+	addrs := make([]uint64, 0, len(byLine))
+	for addr := range byLine {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		hs := byLine[addr]
 		var m, e, o, s int
 		for _, h := range hs {
 			switch h.state {
@@ -48,27 +80,30 @@ func CheckInvariants(nodes []*Node, readMem MemReader) error {
 				s++
 			}
 		}
+		if o > 0 && m+e > 0 {
+			return fmt.Errorf("%w: line %#x (M=%d E=%d O=%d S=%d)", ErrOwnedDirty, addr, m, e, o, s)
+		}
 		if m+e > 1 || ((m+e == 1) && len(hs) > 1) {
-			return fmt.Errorf("line %#x: exclusive-state violation (M=%d E=%d O=%d S=%d)", addr, m, e, o, s)
+			return fmt.Errorf("%w: line %#x (M=%d E=%d O=%d S=%d)", ErrExclusivity, addr, m, e, o, s)
 		}
 		if o > 1 {
-			return fmt.Errorf("line %#x: %d Owned copies", addr, o)
+			return fmt.Errorf("%w: line %#x has %d Owned copies", ErrMultipleOwners, addr, o)
 		}
 		for i := 1; i < len(hs); i++ {
 			if !bytes.Equal(hs[i].data, hs[0].data) {
-				return fmt.Errorf("line %#x: data mismatch between node %d (%s) and node %d (%s)",
-					addr, hs[0].node.ID, hs[0].state, hs[i].node.ID, hs[i].state)
+				return fmt.Errorf("%w: line %#x between node %d (%s) and node %d (%s)",
+					ErrDivergentCopies, addr, hs[0].node.ID, hs[0].state, hs[i].node.ID, hs[i].state)
 			}
 		}
 		if m == 0 && o == 0 && readMem != nil {
 			memData := make([]byte, len(hs[0].data))
 			readMem(addr, memData)
 			if !bytes.Equal(memData, hs[0].data) {
-				return fmt.Errorf("line %#x: clean copies differ from memory", addr)
+				return fmt.Errorf("%w: line %#x", ErrStaleMemory, addr)
 			}
 		}
-		// Inclusion: every L1 line must be backed by a valid L2 line.
 	}
+	// Inclusion: every L1 line must be backed by a valid L2 line.
 	for _, n := range nodes {
 		if err := checkInclusion(n); err != nil {
 			return err
@@ -85,7 +120,7 @@ func checkInclusion(n *Node) error {
 				return
 			}
 			if n.L2.Peek(addr) == nil {
-				err = fmt.Errorf("node %d: %s holds %#x not present in L2", n.ID, name, addr)
+				err = fmt.Errorf("%w: node %d: %s holds %#x", ErrInclusion, n.ID, name, addr)
 			}
 		})
 	}

@@ -1,0 +1,126 @@
+package coherence
+
+import (
+	"errors"
+	"testing"
+
+	"senss/internal/cache"
+)
+
+// sentinels is every invariant-violation class; tests assert that a
+// fabricated violation triggers exactly one of them.
+var sentinels = []error{
+	ErrExclusivity, ErrOwnedDirty, ErrMultipleOwners,
+	ErrDivergentCopies, ErrStaleMemory, ErrInclusion,
+}
+
+// fabricate plants a line directly in node n's L2 — bypassing the
+// protocol — with the given state, every data byte set to fill.
+func fabricate(t *testing.T, n *Node, addr uint64, st cache.State, fill byte) {
+	t.Helper()
+	l, v := n.L2.Insert(addr, st)
+	if v != nil {
+		t.Fatalf("unexpected eviction fabricating %#x", addr)
+	}
+	for i := range l.Data {
+		l.Data[i] = fill
+	}
+}
+
+// checkViolation runs CheckInvariants and asserts the error wraps want and
+// no other sentinel, so every violation class stays distinguishable.
+func checkViolation(t *testing.T, s *system, want error) {
+	t.Helper()
+	reader := func(addr uint64, dst []byte) { s.store.ReadLine(addr, dst) }
+	err := CheckInvariants(s.nodes, reader)
+	if err == nil {
+		t.Fatalf("violation not detected, want %v", want)
+	}
+	if !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+	for _, other := range sentinels {
+		if other != want && errors.Is(err, other) {
+			t.Errorf("error %v also matches %v; classes must stay distinct", err, other)
+		}
+	}
+}
+
+func TestInvariantCleanStatePasses(t *testing.T) {
+	s := newSystem(t, 2, 1024)
+	// Two Shared copies agreeing with (zeroed) memory: legal.
+	fabricate(t, s.nodes[0], 0x1000, cache.Shared, 0)
+	fabricate(t, s.nodes[1], 0x1000, cache.Shared, 0)
+	reader := func(addr uint64, dst []byte) { s.store.ReadLine(addr, dst) }
+	if err := CheckInvariants(s.nodes, reader); err != nil {
+		t.Fatalf("legal state rejected: %v", err)
+	}
+}
+
+func TestInvariantExclusivityTwoDirty(t *testing.T) {
+	s := newSystem(t, 2, 1024)
+	fabricate(t, s.nodes[0], 0x1000, cache.Modified, 1)
+	fabricate(t, s.nodes[1], 0x1000, cache.Modified, 1)
+	checkViolation(t, s, ErrExclusivity)
+}
+
+func TestInvariantExclusivityWithSharer(t *testing.T) {
+	s := newSystem(t, 2, 1024)
+	// One Exclusive holder is fine alone, but not next to a Shared copy.
+	fabricate(t, s.nodes[0], 0x1000, cache.Exclusive, 1)
+	fabricate(t, s.nodes[1], 0x1000, cache.Shared, 1)
+	checkViolation(t, s, ErrExclusivity)
+}
+
+func TestInvariantOwnedDirtyCoHolder(t *testing.T) {
+	s := newSystem(t, 2, 1024)
+	fabricate(t, s.nodes[0], 0x1000, cache.Owned, 1)
+	fabricate(t, s.nodes[1], 0x1000, cache.Modified, 1)
+	checkViolation(t, s, ErrOwnedDirty)
+}
+
+func TestInvariantMultipleOwners(t *testing.T) {
+	s := newSystem(t, 2, 1024)
+	fabricate(t, s.nodes[0], 0x1000, cache.Owned, 1)
+	fabricate(t, s.nodes[1], 0x1000, cache.Owned, 1)
+	checkViolation(t, s, ErrMultipleOwners)
+}
+
+func TestInvariantDivergentCopies(t *testing.T) {
+	s := newSystem(t, 2, 1024)
+	// Owner and sharer disagree on the bytes.
+	fabricate(t, s.nodes[0], 0x1000, cache.Owned, 1)
+	fabricate(t, s.nodes[1], 0x1000, cache.Shared, 2)
+	checkViolation(t, s, ErrDivergentCopies)
+}
+
+func TestInvariantStaleMemory(t *testing.T) {
+	s := newSystem(t, 2, 1024)
+	// A lone clean copy whose bytes differ from (zeroed) memory: somebody
+	// lost a writeback.
+	fabricate(t, s.nodes[0], 0x1000, cache.Shared, 5)
+	checkViolation(t, s, ErrStaleMemory)
+}
+
+func TestInvariantInclusion(t *testing.T) {
+	s := newSystem(t, 1, 1024)
+	// An L1D line with no backing L2 line.
+	if l, v := s.nodes[0].L1D.Insert(0x1000, cache.Shared); l == nil || v != nil {
+		t.Fatal("could not fabricate L1 line")
+	}
+	checkViolation(t, s, ErrInclusion)
+}
+
+// TestInvariantFirstViolationDeterministic pins the ascending-address visit
+// order: with violations on two lines, the lower address is always the one
+// reported (DESIGN.md §6, reproducible output).
+func TestInvariantFirstViolationDeterministic(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		s := newSystem(t, 2, 1024)
+		fabricate(t, s.nodes[0], 0x2000, cache.Owned, 1)
+		fabricate(t, s.nodes[1], 0x2000, cache.Owned, 1)
+		fabricate(t, s.nodes[0], 0x1000, cache.Modified, 1)
+		fabricate(t, s.nodes[1], 0x1000, cache.Modified, 1)
+		checkViolation(t, s, ErrExclusivity) // 0x1000's class, never 0x2000's
+	}
+}

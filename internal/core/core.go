@@ -236,8 +236,39 @@ func (s *SHU) Join(gid int, key aes.Block, members uint32, encIV, authIV aes.Blo
 	return nil
 }
 
-// Leave clears a group session (program exit; GID reclaimed by the table).
+// zeroize overwrites every piece of key-derived material the session
+// holds — mask banks, counter base, chain states, and the expanded key
+// schedule — before the session becomes unreachable. Deleting the map
+// entry alone would leave the secrets legible in freed memory (paper
+// §5.2: session state must not outlive the group).
+func (ss *session) zeroize() {
+	for _, bank := range ss.banks {
+		for j := range bank {
+			bank[j] = aes.Block{}
+		}
+	}
+	ss.banks = nil
+	ss.ctrBase = aes.Block{}
+	ss.ctr = 0
+	ss.seq = 0
+	if ss.mac != nil {
+		ss.mac.Zeroize()
+	}
+	if ss.ghash != nil {
+		ss.ghash.Zeroize()
+	}
+	if ss.cipher != nil {
+		ss.cipher.Zeroize()
+		ss.cipher = nil
+	}
+}
+
+// Leave clears a group session (program exit; GID reclaimed by the table),
+// zeroizing the session key schedule, mask banks, and chain state first.
 func (s *SHU) Leave(gid int) {
+	if ss := s.sessions[gid]; ss != nil {
+		ss.zeroize()
+	}
 	s.matrix[gid] = 0
 	delete(s.sessions, gid)
 }

@@ -42,9 +42,15 @@ func (s *SHU) Suspend(gid int, ivSeed uint64) (*SavedContext, error) {
 	mac := cbcmac.Sum(ss.cipher, iv.XOR(aes.BlockFromUint64(contextMagic, ^ivSeed)), ct)
 	saved := &SavedContext{PID: s.PID, GID: gid, Ciphertext: ct, IV: iv, MAC: mac}
 
-	// Only the chain state leaves the chip; group membership stays in the
-	// bit matrix so the SHU keeps filtering (and ignoring) bus traffic for
-	// the suspended group correctly.
+	// Only the encrypted blob leaves the chip; group membership stays in
+	// the bit matrix so the SHU keeps filtering (and ignoring) bus traffic
+	// for the suspended group correctly. The plaintext scratch and the
+	// in-SHU session copy are zeroized — the blob is now the sole carrier
+	// of the chain state.
+	for i := range plain {
+		plain[i] = 0
+	}
+	ss.zeroize()
 	delete(s.sessions, gid)
 	return saved, nil
 }

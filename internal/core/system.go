@@ -223,6 +223,8 @@ func (s *System) OnTransaction(p *sim.Proc, t *bus.Transaction) uint64 {
 
 // now returns the current cycle from the proc or the engine (protocol-
 // level drives pass p == nil).
+//
+//senss-lint:ignore cycleacct read-only helper: observes the clock, charges nothing
 func (s *System) now(p *sim.Proc) uint64 {
 	if p != nil {
 		return p.Now()

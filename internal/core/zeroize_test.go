@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"senss/internal/crypto/aes"
+)
+
+// zeroizeHarness joins PID 0 and PID 1 into group 0, exchanges one line so
+// every chain component has advanced past its initial state, and returns
+// the live session pieces of PID 0 so a test can assert on them after the
+// session object itself becomes unreachable.
+func zeroizeHarness(t *testing.T, mode AuthMode) (*SHU, *session) {
+	t.Helper()
+	params := DefaultParams()
+	params.AuthMode = mode
+	shu := NewSHU(0, params)
+	peer := NewSHU(1, params)
+	key := aes.Block{0xaa, 1, 2, 3}
+	encIV := aes.Block{4, 5, 6}
+	authIV := aes.Block{7, 8, 9}
+	for _, s := range []*SHU{shu, peer} {
+		if err := s.Join(0, key, MemberMask(0, 1), encIV, authIV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	line := make([]aes.Block, BlocksPerLine)
+	for i := range line {
+		line[i] = aes.BlockFromUint64(uint64(i), 0xdead)
+	}
+	ct, err := shu.Encrypt(0, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peer.Observe(0, ct, 0); err != nil {
+		t.Fatal(err)
+	}
+	ss := shu.sessions[0]
+	if ss == nil || ss.seq == 0 {
+		t.Fatal("session did not advance; harness is vacuous")
+	}
+	return shu, ss
+}
+
+// assertSessionWiped checks every secret the session held reads back as
+// zero: mask banks, counter base, both chain states, and the expanded key
+// schedule of the cipher it owned.
+func assertSessionWiped(t *testing.T, ss *session, banks [][]aes.Block, cipher *aes.Cipher) {
+	t.Helper()
+	for i, bank := range banks {
+		for j, b := range bank {
+			if !b.IsZero() {
+				t.Errorf("bank[%d][%d] = %v survived", i, j, b)
+			}
+		}
+	}
+	if !ss.ctrBase.IsZero() || ss.ctr != 0 || ss.seq != 0 {
+		t.Errorf("counter state survived: ctrBase=%v ctr=%d seq=%d", ss.ctrBase, ss.ctr, ss.seq)
+	}
+	if sum := ss.mac.Sum(); !sum.IsZero() || ss.mac.Blocks() != 0 {
+		t.Errorf("MAC chain survived: sum=%v blocks=%d", sum, ss.mac.Blocks())
+	}
+	if ss.ghash != nil {
+		if ss.ghash.Subkey() != ([16]byte{}) || ss.ghash.Sum() != ([16]byte{}) {
+			t.Error("GHASH state survived")
+		}
+	}
+	if ss.cipher != nil {
+		t.Error("cipher reference survived")
+	}
+	// A zeroized schedule behaves exactly like the zero-value Cipher.
+	probe := aes.Block{0x42}
+	if cipher.Encrypt(probe) != new(aes.Cipher).Encrypt(probe) {
+		t.Error("key schedule survived zeroization")
+	}
+}
+
+// TestLeaveZeroizesSession: Leave must wipe the group's key-derived
+// material in both authentication modes, not merely unlink the map entry.
+func TestLeaveZeroizesSession(t *testing.T) {
+	for _, mode := range []AuthMode{AuthCBC, AuthGF} {
+		t.Run(mode.String(), func(t *testing.T) {
+			shu, ss := zeroizeHarness(t, mode)
+			banks, cipher := ss.banks, ss.cipher
+			if banks[0][0].IsZero() {
+				t.Fatal("mask bank starts zero; test is vacuous")
+			}
+			shu.Leave(0)
+			if shu.sessions[0] != nil || shu.Members(0) != 0 {
+				t.Fatal("Leave did not clear the session entry")
+			}
+			assertSessionWiped(t, ss, banks, cipher)
+		})
+	}
+}
+
+// TestSuspendZeroizesSession: after Suspend the encrypted blob must be the
+// sole carrier of the chain state — the on-chip copy is wiped (membership
+// stays, so the SHU keeps filtering bus traffic for the group).
+func TestSuspendZeroizesSession(t *testing.T) {
+	for _, mode := range []AuthMode{AuthCBC, AuthGF} {
+		t.Run(mode.String(), func(t *testing.T) {
+			shu, ss := zeroizeHarness(t, mode)
+			banks, cipher := ss.banks, ss.cipher
+			if _, err := shu.Suspend(0, 42); err != nil {
+				t.Fatal(err)
+			}
+			if shu.sessions[0] != nil {
+				t.Fatal("Suspend did not remove the session entry")
+			}
+			if shu.Members(0) == 0 {
+				t.Fatal("Suspend must preserve group membership")
+			}
+			assertSessionWiped(t, ss, banks, cipher)
+		})
+	}
+}

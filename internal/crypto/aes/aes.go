@@ -296,3 +296,17 @@ func (c *Cipher) Decrypt(src Block) Block {
 	copy(dst[:], s[:])
 	return dst
 }
+
+// Zeroize overwrites the expanded key schedule. The round keys are the
+// only key-derived material a Cipher holds, so after Zeroize the group
+// session key is unrecoverable from this object (paper §5.2: session
+// state must not outlive the group). The cipher is unusable afterwards —
+// Encrypt/Decrypt degenerate to the all-zero schedule.
+func (c *Cipher) Zeroize() {
+	for i := range c.enc {
+		c.enc[i] = 0
+	}
+	for i := range c.dec {
+		c.dec[i] = 0
+	}
+}

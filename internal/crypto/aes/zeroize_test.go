@@ -1,0 +1,32 @@
+package aes
+
+import "testing"
+
+// TestZeroize verifies the expanded key schedule is actually overwritten:
+// every enc and dec round-key word must read back as zero.
+func TestZeroize(t *testing.T) {
+	key := Block{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	c := NewFromBlock(key)
+
+	nonzero := false
+	for _, w := range c.enc {
+		if w != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("expanded schedule is all zero before Zeroize; test is vacuous")
+	}
+
+	c.Zeroize()
+	for i, w := range c.enc {
+		if w != 0 {
+			t.Errorf("enc[%d] = %#x after Zeroize", i, w)
+		}
+	}
+	for i, w := range c.dec {
+		if w != 0 {
+			t.Errorf("dec[%d] = %#x after Zeroize", i, w)
+		}
+	}
+}

@@ -88,3 +88,14 @@ func Sum(cipher *aes.Cipher, iv aes.Block, msg []byte) aes.Block {
 	}
 	return m.Sum()
 }
+
+// Zeroize wipes the chain state, the initial vector, and the block count,
+// and drops the cipher reference. The chain value is secret material — it
+// authenticates future group messages — so it must not survive group
+// release. The MAC is unusable afterwards.
+func (m *MAC) Zeroize() {
+	m.state = aes.Block{}
+	m.iv = aes.Block{}
+	m.blocks = 0
+	m.cipher = nil
+}

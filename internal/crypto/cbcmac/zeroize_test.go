@@ -1,0 +1,33 @@
+package cbcmac
+
+import (
+	"testing"
+
+	"senss/internal/crypto/aes"
+)
+
+// TestZeroize verifies the chain state, IV, block count, and cipher
+// reference are all cleared.
+func TestZeroize(t *testing.T) {
+	cipher := aes.NewFromBlock(aes.Block{1, 2, 3, 4})
+	m := New(cipher, aes.Block{9, 9, 9})
+	m.Update(aes.Block{5})
+	m.Update(aes.Block{6})
+	if m.Sum().IsZero() || m.Blocks() != 2 {
+		t.Fatal("chain did not advance; test is vacuous")
+	}
+
+	m.Zeroize()
+	if !m.state.IsZero() {
+		t.Errorf("state = %v after Zeroize", m.state)
+	}
+	if !m.iv.IsZero() {
+		t.Errorf("iv = %v after Zeroize", m.iv)
+	}
+	if m.blocks != 0 {
+		t.Errorf("blocks = %d after Zeroize", m.blocks)
+	}
+	if m.cipher != nil {
+		t.Error("cipher reference survived Zeroize")
+	}
+}

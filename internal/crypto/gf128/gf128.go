@@ -109,3 +109,12 @@ func (g *GHASH) Clone() *GHASH {
 	c := *g
 	return &c
 }
+
+// Zeroize wipes the hash subkey and the accumulator. Both are secret: the
+// subkey is AES_K(authIV) and the accumulator authenticates the group's
+// message history. The accumulator is unusable afterwards (H = 0 absorbs
+// everything to zero).
+func (g *GHASH) Zeroize() {
+	g.h = Element{}
+	g.y = Element{}
+}

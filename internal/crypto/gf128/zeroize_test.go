@@ -1,0 +1,24 @@
+package gf128
+
+import "testing"
+
+// TestGHASHZeroize verifies both the hash subkey and the accumulator are
+// cleared.
+func TestGHASHZeroize(t *testing.T) {
+	g := NewGHASH([16]byte{0x80, 1, 2, 3})
+	g.Update([16]byte{7, 7, 7})
+	if g.h.IsZero() || g.y.IsZero() {
+		t.Fatal("accumulator did not advance; test is vacuous")
+	}
+
+	g.Zeroize()
+	if !g.h.IsZero() {
+		t.Errorf("subkey = %v after Zeroize", g.h)
+	}
+	if !g.y.IsZero() {
+		t.Errorf("accumulator = %v after Zeroize", g.y)
+	}
+	if g.Subkey() != ([16]byte{}) || g.Sum() != ([16]byte{}) {
+		t.Error("exported views nonzero after Zeroize")
+	}
+}

@@ -120,7 +120,7 @@ func (d *Digest) Sum() [Size]byte {
 	// (len + padLen) ≡ 56 (mod 64), padLen ≥ 1 counting the 0x80 byte.
 	padLen := (56-int((c.len+1)%BlockSize)+BlockSize)%BlockSize + 1
 	binary.BigEndian.PutUint64(pad[padLen:], c.len*8)
-	c.Write(pad[:padLen+8])
+	_, _ = c.Write(pad[:padLen+8]) // Digest.Write never fails
 	var out [Size]byte
 	for i, v := range c.h {
 		binary.BigEndian.PutUint32(out[4*i:], v)
@@ -131,6 +131,6 @@ func (d *Digest) Sum() [Size]byte {
 // Sum256 hashes p in one shot.
 func Sum256(p []byte) [Size]byte {
 	d := New()
-	d.Write(p)
+	_, _ = d.Write(p) // Digest.Write never fails
 	return d.Sum()
 }

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerCycleAcct guards the timing model: every function on the bus or
+// memory path that holds the run token (a *sim.Proc parameter) or reports
+// extra cycles (the bus.SecurityHook / bus.MemoryPort shapes) must actually
+// account for time.
+//
+// Two rules:
+//
+//   - A timed-shape method (OnTransaction / Fetch / Store returning uint64
+//     extra cycles) that returns the literal 0 is flagged: either the cost
+//     is genuinely overlapped by the architecture — then the function
+//     carries an audited `senss-lint:ignore cycleacct <why>` on its
+//     declaration — or a latency charge was forgotten.
+//   - A function holding a *Proc that never calls a timing method on it
+//     (Sleep/Park/...), never passes it on, and never returns a nonzero
+//     charge is flagged: it occupies the run token without accounting.
+//
+// Reads like p.Now() do not count as charging.
+func AnalyzerCycleAcct() *Analyzer {
+	a := &Analyzer{
+		Name: "cycleacct",
+		Doc:  "bus/memory-path methods must charge or explicitly waive latency",
+		Scope: []string{
+			"internal/bus", "internal/memsec", "internal/trace",
+			"internal/core", "internal/attack", "internal/machine",
+			"internal/coherence", "internal/integrity",
+		},
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkTimedFunc(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+// checkTimedFunc applies both cycle-accounting rules to one declaration.
+func checkTimedFunc(pass *Pass, fd *ast.FuncDecl) {
+	procName := procParamName(fd)
+	timed := isTimedShape(fd)
+
+	var zeroReturns []*ast.ReturnStmt
+	returnsCharge := false
+	procCharges := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if len(n.Results) == 1 {
+				if isLiteralZero(n.Results[0]) {
+					zeroReturns = append(zeroReturns, n)
+				} else {
+					returnsCharge = true
+				}
+			}
+		case *ast.CallExpr:
+			if procName == "" {
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if identName(sel.X) == procName && !isProcRead(sel.Sel.Name) {
+					procCharges = true // p.Sleep, p.Park, ...
+				}
+			}
+			for _, arg := range n.Args {
+				if identName(arg) == procName {
+					procCharges = true // delegation: callee charges on our behalf
+				}
+			}
+		}
+		return true
+	})
+
+	if timed {
+		for _, r := range zeroReturns {
+			pass.Reportf(r.Pos(), "timed path %s returns literal 0 cycles; charge the latency or waive with senss-lint:ignore cycleacct <why overlapped>", fd.Name.Name)
+		}
+	}
+	if procName != "" && !procCharges && !(timed && returnsCharge) {
+		pass.Reportf(fd.Pos(), "%s holds the run token (%s *Proc) but never charges, parks, or delegates cycles", fd.Name.Name, procName)
+	}
+}
+
+// procParamName returns the name of a *Proc parameter, "" if none.
+func procParamName(fd *ast.FuncDecl) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fd.Type.Params.List {
+		if typeNameOf(field.Type) == "Proc" && len(field.Names) > 0 {
+			return field.Names[0].Name
+		}
+	}
+	return ""
+}
+
+// isTimedShape matches the bus.SecurityHook and bus.MemoryPort method
+// shapes: OnTransaction(*Proc, ...) uint64, or Fetch/Store(*Transaction,
+// ...) uint64.
+func isTimedShape(fd *ast.FuncDecl) bool {
+	res := fd.Type.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) > 1 {
+		return false
+	}
+	if identName(res.List[0].Type) != "uint64" {
+		return false
+	}
+	switch fd.Name.Name {
+	case "OnTransaction":
+		return procParamName(fd) != ""
+	case "Fetch", "Store":
+		params := fd.Type.Params
+		return params != nil && len(params.List) > 0 && typeNameOf(params.List[0].Type) == "Transaction"
+	}
+	return false
+}
+
+// typeNameOf extracts the base type name of *T, pkg.T, or *pkg.T.
+func typeNameOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return typeNameOf(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.Ident:
+		return e.Name
+	}
+	return ""
+}
+
+// isProcRead lists Proc methods that observe without charging.
+func isProcRead(name string) bool {
+	switch name {
+	case "Now", "Name", "Engine":
+		return true
+	}
+	return false
+}
+
+// isLiteralZero matches the untyped constant 0.
+func isLiteralZero(e ast.Expr) bool {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return isLiteralZero(p.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerDeterminism flags range loops over maps whose iteration order can
+// escape into scheduling, statistics, trace output, or error reporting.
+// DESIGN.md §6 requires bit-reproducible simulation for a fixed seed; a
+// single map-ordered loop feeding any observable output silently breaks it.
+//
+// A map range loop is accepted without a waiver when its body is provably
+// order-insensitive:
+//
+//   - commutative accumulation (x += v, x |= v, x ^= v, x &= v, x *= v,
+//     counters via ++/--, delete(m, k), writes keyed by the loop key);
+//   - the single-accumulator min/max pattern `if v < acc { acc = v }`;
+//   - collect-then-sort: the loop only appends to slices that are passed to
+//     sort.* or slices.Sort* later in the same block.
+//
+// Anything else — early exits, calls, sends, returns, multi-variable
+// tie-breaks — needs either a restructure (sort the keys first) or an
+// audited `senss-lint:ignore determinism <reason>` waiver.
+func AnalyzerDeterminism() *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "map iteration order must not reach scheduling, stats, traces, or errors",
+		Scope: []string{
+			"internal/sim", "internal/coherence", "internal/bus",
+			"internal/machine", "internal/memsec", "internal/trace",
+			"internal/mem", "internal/stats", "internal/core",
+			"internal/integrity", "cmd",
+		},
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				block, ok := n.(*ast.BlockStmt)
+				if !ok {
+					return true
+				}
+				for i, stmt := range block.List {
+					rs, ok := stmt.(*ast.RangeStmt)
+					if !ok {
+						continue
+					}
+					checkMapRange(pass, rs, block.List[i+1:])
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkMapRange reports rs when it iterates a map with an order-sensitive
+// body. rest is the statement tail of the enclosing block, consulted for
+// the collect-then-sort pattern.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ins := &insensitivity{keyVar: identName(rs.Key)}
+	ins.checkStmt(rs.Body)
+	if ins.ok {
+		for _, appended := range ins.appends {
+			if !sortedAfter(pass, rest, appended) {
+				pass.Reportf(rs.For, "map iteration appends to %q which is never sorted afterwards; iteration order leaks into its element order", appended)
+				return
+			}
+		}
+		return
+	}
+	pass.Reportf(rs.For, "order-sensitive iteration over map %s: sort the keys first, restructure, or waive with senss-lint:ignore determinism <reason>", typeLabel(t))
+}
+
+// typeLabel renders a short label for a map type.
+func typeLabel(t types.Type) string {
+	s := t.String()
+	if len(s) > 48 {
+		s = s[:45] + "..."
+	}
+	return s
+}
+
+// identName returns the name of an identifier expression, "" otherwise.
+func identName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// insensitivity is the conservative order-insensitive body checker. ok
+// starts true and is cleared by any statement outside the allowed forms;
+// appends collects slice variables grown inside the loop, which the caller
+// must find sorted after the loop.
+type insensitivity struct {
+	keyVar  string
+	ok      bool
+	started bool
+	appends []string
+}
+
+func (c *insensitivity) fail() { c.ok = false }
+
+func (c *insensitivity) checkStmt(s ast.Stmt) {
+	if !c.started {
+		c.started = true
+		c.ok = true
+	}
+	if !c.ok {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			c.checkStmt(st)
+		}
+	case *ast.IncDecStmt:
+		// Counter bumps commute.
+	case *ast.AssignStmt:
+		c.checkAssign(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && identName(call.Fun) == "delete" {
+			return // delete(m, k) over distinct keys commutes
+		}
+		c.fail()
+	case *ast.IfStmt:
+		c.checkIf(s)
+	case *ast.RangeStmt:
+		// A nested loop is fine as long as its own body is.
+		c.checkStmt(s.Body)
+	case *ast.ForStmt:
+		c.checkStmt(s.Body)
+	case *ast.BranchStmt:
+		if s.Tok != token.CONTINUE {
+			c.fail() // break/goto make the outcome depend on visit order
+		}
+	case *ast.DeclStmt:
+		// Local declarations are per-iteration scratch.
+	default:
+		c.fail()
+	}
+}
+
+// checkAssign admits commutative compound assignments, appends (recorded
+// for the sorted-after check), and writes keyed by the loop key variable.
+func (c *insensitivity) checkAssign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN,
+		token.AND_ASSIGN, token.MUL_ASSIGN:
+		return
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			// x = append(x, ...) — deferred to the sorted-after check.
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && identName(call.Fun) == "append" && len(call.Args) > 0 {
+				lhs, arg0 := identName(s.Lhs[0]), identName(call.Args[0])
+				if lhs != "" && lhs == arg0 {
+					c.appends = append(c.appends, lhs)
+					return
+				}
+			}
+			// m2[k] = v — distinct keys write distinct slots.
+			if idx, ok := s.Lhs[0].(*ast.IndexExpr); ok && c.keyVar != "" && identName(idx.Index) == c.keyVar {
+				return
+			}
+		}
+		c.fail()
+	default:
+		c.fail()
+	}
+}
+
+// checkIf admits the single-accumulator min/max pattern
+// `if v < acc { acc = v }` (any comparison direction, no else), and plain
+// guards whose condition is call-free with an order-insensitive body.
+func (c *insensitivity) checkIf(s *ast.IfStmt) {
+	if s.Init != nil || s.Else != nil || hasCall(s.Cond) {
+		c.fail()
+		return
+	}
+	if cmp, ok := s.Cond.(*ast.BinaryExpr); ok && isComparison(cmp.Op) && len(s.Body.List) == 1 {
+		if asg, ok := s.Body.List[0].(*ast.AssignStmt); ok && asg.Tok == token.ASSIGN {
+			condIdents := identSet(cmp)
+			all := true
+			for _, lhs := range asg.Lhs {
+				if name := identName(lhs); name == "" || !condIdents[name] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return // pure min/max accumulation commutes
+			}
+			// A tie-broken multi-variable update (e.g. LRU victim choice)
+			// does NOT commute: fall through to the general rule.
+		}
+	}
+	c.checkStmt(s.Body)
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// identSet collects every identifier name mentioned in e.
+func identSet(e ast.Expr) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// hasCall reports whether e contains any function call (len and cap are
+// harmless and admitted).
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name := identName(call.Fun); name == "len" || name == "cap" {
+				return true
+			}
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sortedAfter reports whether some statement in rest passes the named slice
+// to a sort.* or slices.* call.
+func sortedAfter(pass *Pass, rest []ast.Stmt, name string) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				switch pass.PkgNameOf(id) {
+				case "sort", "slices":
+					for _, arg := range call.Args {
+						if identName(arg) == name {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDroppedErr flags calls whose error result is silently discarded
+// in non-test code (the loader never parses _test.go files). A dropped
+// error in the simulator typically swallows a coherence-invariant
+// violation or an I/O failure in a report writer.
+//
+// Best-effort writers are excluded: the fmt print family and writes to
+// in-memory sinks (bytes.Buffer, strings.Builder) conventionally never
+// fail in ways the caller can act on. An explicit `_ =` assignment is a
+// conscious decision and is not flagged.
+func AnalyzerDroppedErr() *Analyzer {
+	a := &Analyzer{
+		Name: "droppederr",
+		Doc:  "no silently dropped error returns in non-test code",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = n.X.(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call = n.Call
+				}
+				if call == nil || !returnsError(pass, call) || excludedSink(pass, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "error result of %s is dropped; handle it or assign it to _ explicitly", calleeLabel(call))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// returnsError reports whether any result of the call is an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// excludedSink matches conventionally best-effort calls.
+func excludedSink(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pass.CalleePkgPath(call) == "fmt" {
+		return true
+	}
+	if recv := pass.TypeOf(sel.X); recv != nil {
+		s := recv.String()
+		if strings.HasSuffix(s, "bytes.Buffer") || strings.HasSuffix(s, "strings.Builder") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeLabel renders the callee for the report message.
+func calleeLabel(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x := identName(fun.X); x != "" {
+			return x + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,175 @@
+// Package lint is senss-lint: a domain-specific static-analysis suite for
+// this repository, built only on the standard library's go/parser, go/ast
+// and go/types (the module is developed offline, so no x/tools).
+//
+// The simulator depends on two properties the Go compiler cannot check:
+//
+//   - Determinism. DESIGN.md §6 requires bit-reproducible runs for a fixed
+//     seed: the sim engine hands out a single run token, so the only ways
+//     nondeterminism can creep in are map iteration order reaching
+//     scheduling/stats/trace output, host time, global math/rand, sync.Map,
+//     or goroutines created outside the engine.
+//   - Secret hygiene. Group session keys, bus masks, and memory pads (§4 of
+//     the paper) must never flow into logs, traces, or error strings — the
+//     classic implementation pitfall of pad-based schemes.
+//
+// Each Analyzer encodes one such property. The cmd/senss-lint driver runs
+// the registry over every package in the module; deliberate exceptions are
+// annotated in source with senss-lint:ignore directives that require a
+// written reason, so every waiver is an audited decision.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check in the registry.
+type Analyzer struct {
+	// Name is the identifier used in reports and ignore directives.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Scope restricts the analyzer to packages whose module-relative path
+	// has one of these prefixes ("" matches the module root package, "cmd"
+	// matches every command). A nil scope applies everywhere.
+	Scope []string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// applies reports whether the analyzer covers the package at relPath.
+func (a *Analyzer) applies(relPath string) bool {
+	if a.Scope == nil {
+		return true
+	}
+	for _, p := range a.Scope {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when type information is missing
+// (analyzers degrade gracefully on packages with type errors).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// PkgNameOf resolves an identifier to the import path of the package it
+// names ("" when it is not a package name). This is how analyzers tell a
+// genuine fmt.Errorf from a local variable that happens to be called fmt.
+func (p *Pass) PkgNameOf(id *ast.Ident) string {
+	if p.Pkg.Info == nil {
+		return ""
+	}
+	if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// CalleePkgPath resolves the import path of the package a call's callee
+// belongs to, handling both pkg.Func selectors and method values with
+// declared package-level receivers. Returns "" when unresolvable.
+func (p *Pass) CalleePkgPath(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if path := p.PkgNameOf(id); path != "" {
+			return path
+		}
+	}
+	if p.Pkg.Info != nil {
+		if obj := p.Pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path()
+		}
+	}
+	return ""
+}
+
+// Registry returns the default analyzer suite, in reporting order.
+func Registry() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDeterminism(),
+		AnalyzerNondeterm(),
+		AnalyzerSecrets(),
+		AnalyzerCycleAcct(),
+		AnalyzerDroppedErr(),
+	}
+}
+
+// RunAnalyzers executes every applicable analyzer over the packages,
+// filters findings through senss-lint:ignore directives, and appends a
+// diagnostic for each malformed or reason-less directive. The result is
+// sorted by position for reproducible output.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, a := range analyzers {
+			if !a.applies(pkg.RelPath) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
+				if !sup.suppresses(d) {
+					out = append(out, d)
+				}
+			}}
+			a.Run(pass)
+		}
+		out = append(out, sup.problems...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

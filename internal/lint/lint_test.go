@@ -1,0 +1,187 @@
+package lint_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"senss/internal/lint"
+)
+
+// newLoader builds a loader rooted at the module (two levels up from this
+// package's directory).
+func newLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// wantRe matches the two expected-diagnostic golden forms:
+//
+//	// want "substring"
+//	// want `substring`
+var wantRe = regexp.MustCompile("want (?:\"([^\"]+)\"|`([^`]+)`)")
+
+// expectation is one // want comment, consumed as diagnostics match it.
+type expectation struct {
+	file     string
+	line     int
+	substr   string
+	consumed bool
+}
+
+// collectWants scans every comment of the fixture package.
+func collectWants(pkg *lint.Package) []*expectation {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					substr := m[1]
+					if substr == "" {
+						substr = m[2]
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, substr: substr})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runFixture loads testdata/<dir>, runs the analyzer with its package
+// scope lifted, and matches diagnostics against the want comments.
+func runFixture(t *testing.T, loader *lint.Loader, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", dir, terr)
+	}
+	a.Scope = nil // fixtures live outside the analyzer's default scope
+	diags := lint.RunAnalyzers([]*lint.Analyzer{a}, []*lint.Package{pkg})
+
+	wants := collectWants(pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+	var matched int
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !w.consumed && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.consumed = true
+				matched++
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.consumed {
+			t.Errorf("missing diagnostic at %s:%d containing %q", w.file, w.line, w.substr)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+	} else if matched == 0 {
+		t.Errorf("fixture %s matched no diagnostics", dir)
+	}
+}
+
+// TestAnalyzerFixtures drives every analyzer over its seeded-violation
+// fixture package (the expected-diagnostic golden format).
+func TestAnalyzerFixtures(t *testing.T) {
+	loader := newLoader(t)
+	cases := []struct {
+		dir      string
+		analyzer *lint.Analyzer
+	}{
+		{"determ", lint.AnalyzerDeterminism()},
+		{"nondet", lint.AnalyzerNondeterm()},
+		{"secrets", lint.AnalyzerSecrets()},
+		{"cycle", lint.AnalyzerCycleAcct()},
+		{"dropped", lint.AnalyzerDroppedErr()},
+		{"suppress", lint.AnalyzerDroppedErr()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			runFixture(t, loader, tc.analyzer, tc.dir)
+		})
+	}
+}
+
+// TestRegistryNamesUnique guards the ignore-directive namespace.
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.Registry() {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestModuleClean runs the full registry over the real module and demands
+// zero findings — the same gate cmd/senss-lint enforces, kept green by the
+// ordinary test suite.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader := newLoader(t)
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checked int
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.RelPath, "lint/testdata") {
+			continue
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("loaded only %d packages; loader lost the module", checked)
+	}
+	diags := lint.RunAnalyzers(lint.Registry(), pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("senss-lint found %d issue(s); the tree must stay lint-clean", len(diags))
+	}
+}
+
+// TestDiagnosticString pins the report format the driver prints.
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{Analyzer: "determinism", Message: "boom"}
+	d.Pos.Filename = "a/b.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	got := d.String()
+	want := "a/b.go:3:7: [determinism] boom"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if fmt.Sprint(d) != want {
+		t.Fatalf("Sprint mismatch")
+	}
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package of the module.
+type Package struct {
+	ImportPath string
+	RelPath    string // path relative to the module root ("" for the root package)
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects non-fatal type-checking problems. Analysis
+	// proceeds with partial type information.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks every package of a module without any
+// go/packages dependency: module-local imports are resolved recursively by
+// directory, standard-library imports through the go/types source importer
+// (which reads GOROOT/src, so it works offline).
+type Loader struct {
+	Root       string // module root directory (contains go.mod)
+	ModulePath string
+	Fset       *token.FileSet
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package // by import path
+	busy map[string]bool     // cycle guard
+}
+
+// NewLoader prepares a loader for the module rooted at dir (the directory
+// containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not support ImportFrom")
+	}
+	return &Loader{
+		Root:       root,
+		ModulePath: modPath,
+		Fset:       fset,
+		std:        std,
+		pkgs:       make(map[string]*Package),
+		busy:       make(map[string]bool),
+	}, nil
+}
+
+// LoadModule discovers and loads every package under the module root,
+// skipping testdata and hidden directories. Packages are returned in
+// deterministic (import path) order.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := l.ModulePath
+		if rel != "." {
+			importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(importPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and type-checks the package at importPath (module-local),
+// memoized.
+func (l *Loader) load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.busy[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.busy[importPath] = true
+	defer delete(l.busy, importPath)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	pkg, err := l.loadDir(dir, importPath, rel)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// loadDir parses and type-checks a single directory as one package.
+func (l *Loader) loadDir(dir, importPath, relPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		RelPath:    relPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: &moduleImporter{l},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// The returned error duplicates the first entry of TypeErrors; analysis
+	// is best-effort over whatever type information survived.
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// LoadDir loads a standalone directory (the fixture harness) whose imports
+// are standard-library only.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(abs, filepath.Base(abs), filepath.Base(abs))
+}
+
+// moduleImporter resolves module-local imports through the loader and
+// everything else through the stdlib source importer.
+type moduleImporter struct{ l *Loader }
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == m.l.ModulePath || strings.HasPrefix(path, m.l.ModulePath+"/") {
+		pkg, err := m.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: %s failed to type-check", path)
+		}
+		return pkg.Types, nil
+	}
+	return m.l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerNondeterm bans host-nondeterminism primitives from the simulator
+// proper (internal/...): wall-clock time, the global math/rand stream,
+// sync.Map (whose range order is nondeterministic even under a single
+// goroutine), and goroutine creation anywhere but the sim engine — the
+// engine's single run token is the sole legitimate source of concurrency,
+// and every simulated actor must receive it through Engine.Spawn.
+//
+// Host-side drivers under cmd/ may measure wall time; they are out of
+// scope.
+func AnalyzerNondeterm() *Analyzer {
+	a := &Analyzer{
+		Name:  "nondeterm",
+		Doc:   "no wall-clock, global math/rand, sync.Map, or goroutines outside the sim engine",
+		Scope: []string{"internal"},
+	}
+	// bannedTime are time package functions that read host state; pure
+	// conversions and constants (time.Duration, time.Millisecond) are fine.
+	bannedTime := map[string]bool{
+		"Now": true, "Since": true, "Until": true, "After": true,
+		"AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+		"Sleep": true,
+	}
+	a.Run = func(pass *Pass) {
+		inSim := pass.Pkg.RelPath == "internal/sim"
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				switch imp.Path.Value {
+				case `"math/rand"`, `"math/rand/v2"`:
+					pass.Reportf(imp.Pos(), "import of %s: runs must be reproducible for a fixed seed; use senss/internal/rng", imp.Path.Value)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					if !inSim {
+						pass.Reportf(n.Pos(), "goroutine outside the sim engine: concurrency must flow through Engine.Spawn's run token to stay deterministic")
+					}
+				case *ast.SelectorExpr:
+					id, ok := n.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch pass.PkgNameOf(id) {
+					case "time":
+						if bannedTime[n.Sel.Name] {
+							pass.Reportf(n.Pos(), "time.%s reads host state; simulated time comes from the engine (Proc.Now / Engine.Now)", n.Sel.Name)
+						}
+					case "sync":
+						if n.Sel.Name == "Map" {
+							pass.Reportf(n.Pos(), "sync.Map iteration order is nondeterministic; use a plain map with sorted keys")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerSecrets enforces the §4 secret-hygiene discipline: group session
+// keys, one-time-pad mask banks, memory pads, and IVs must never flow into
+// format/print calls, log output, error strings, panics, or the trace
+// emitters. The bus-encryption literature singles this out as the main
+// implementation pitfall of pad-based schemes — one fmt.Errorf("%x", key)
+// undoes the hardware design.
+//
+// A finding requires both signals: the identifier *name* matches a secret
+// pattern (key/secret/mask/pad/session/iv) and its *type* carries byte
+// material (byte slices/arrays such as aes.Block, or containers thereof).
+// Plain counters like Stats.PadHits (uint64) never match.
+func AnalyzerSecrets() *Analyzer {
+	a := &Analyzer{
+		Name: "secrets",
+		Doc:  "key/pad/mask/IV material must not reach prints, logs, errors, panics, or traces",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sink := sinkName(pass, call)
+				if sink == "" {
+					return true
+				}
+				seen := map[string]bool{}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						// Sizes and capacities of secret containers are
+						// metadata, not material.
+						if inner, ok := m.(*ast.CallExpr); ok {
+							if name := identName(inner.Fun); name == "len" || name == "cap" {
+								return false
+							}
+						}
+						id, ok := m.(*ast.Ident)
+						if !ok || seen[id.Name] {
+							return true
+						}
+						if secretName(id.Name) && secretType(pass.TypeOf(id), 0) {
+							seen[id.Name] = true
+							pass.Reportf(id.Pos(), "secret material %q flows into %s; secrets must never reach logs, traces, or error strings", id.Name, sink)
+						}
+						return true
+					})
+				}
+				return false
+			})
+		}
+	}
+	return a
+}
+
+// sinkName classifies a call as a secret sink, returning a label for the
+// report ("" when it is not a sink).
+func sinkName(pass *Pass, call *ast.CallExpr) string {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		return "panic"
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch path := pass.CalleePkgPath(call); {
+	case path == "fmt":
+		name := sel.Sel.Name
+		for _, p := range []string{"Print", "Sprint", "Fprint", "Append", "Error"} {
+			if strings.HasPrefix(name, p) {
+				return "fmt." + name
+			}
+		}
+	case path == "log":
+		return "log." + sel.Sel.Name
+	case path == "errors":
+		return "errors." + sel.Sel.Name
+	case strings.HasSuffix(path, "internal/trace"):
+		return "trace." + sel.Sel.Name
+	}
+	return ""
+}
+
+// secretName matches identifiers that plausibly hold secret material.
+func secretName(name string) bool {
+	l := strings.ToLower(name)
+	for _, w := range []string{"key", "secret", "mask", "pad", "session"} {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return l == "iv" || strings.HasSuffix(l, "iv")
+}
+
+// secretType reports whether t carries byte material: a byte slice or
+// array (aes.Block is [16]byte), a container of such, or a struct with such
+// a field. Scalars and counters do not match.
+func secretType(t types.Type, depth int) bool {
+	if t == nil || depth > 4 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isByte(u.Elem()) || secretType(u.Elem(), depth+1)
+	case *types.Array:
+		return isByte(u.Elem()) || secretType(u.Elem(), depth+1)
+	case *types.Pointer:
+		return secretType(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if secretType(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression directives.
+//
+//	//senss-lint:ignore <analyzer>[,<analyzer>...] <reason>
+//	//senss-lint:file-ignore <analyzer>[,<analyzer>...] <reason>
+//
+// An ignore directive covers its own line and the next line; when it sits
+// in (or immediately above) the doc comment of a top-level declaration it
+// covers the whole declaration, so a single audited waiver can cover every
+// return path of a deliberately zero-cost function. The analyzer list may
+// be "all". The reason is mandatory: a waiver without a written
+// justification is itself reported as a finding.
+const directivePrefix = "senss-lint:"
+
+type supEntry struct {
+	analyzers []string
+	file      string
+	from, to  int // line range, inclusive; 0,maxInt for file-wide
+}
+
+func (e *supEntry) covers(d Diagnostic) bool {
+	if d.Pos.Filename != e.file || d.Pos.Line < e.from || d.Pos.Line > e.to {
+		return false
+	}
+	for _, a := range e.analyzers {
+		if a == "all" || a == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+type suppressions struct {
+	entries  []supEntry
+	problems []Diagnostic
+}
+
+func (s *suppressions) suppresses(d Diagnostic) bool {
+	if d.Analyzer == "lintdirective" {
+		return false
+	}
+	for i := range s.entries {
+		if s.entries[i].covers(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment of the package for directives.
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{}
+	for _, f := range pkg.Files {
+		// declSpan maps a directive line to the span of the top-level
+		// declaration it documents.
+		declSpan := make(map[int][2]int)
+		for _, decl := range f.Decls {
+			start := pkg.Fset.Position(decl.Pos()).Line
+			end := pkg.Fset.Position(decl.End()).Line
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				for l := pkg.Fset.Position(doc.Pos()).Line; l <= pkg.Fset.Position(doc.End()).Line; l++ {
+					declSpan[l] = [2]int{start, end}
+				}
+			}
+			declSpan[start] = [2]int{start, end}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				body := strings.TrimPrefix(text, directivePrefix)
+				// Anything after a nested "//" is commentary on the
+				// directive, not part of it.
+				if i := strings.Index(body, "//"); i >= 0 {
+					body = body[:i]
+				}
+				fields := strings.Fields(body)
+				if len(fields) == 0 || (fields[0] != "ignore" && fields[0] != "file-ignore") {
+					s.problems = append(s.problems, Diagnostic{
+						Analyzer: "lintdirective", Pos: pos,
+						Message: "malformed senss-lint directive: want ignore or file-ignore",
+					})
+					continue
+				}
+				if len(fields) < 3 {
+					s.problems = append(s.problems, Diagnostic{
+						Analyzer: "lintdirective", Pos: pos,
+						Message: "senss-lint:" + fields[0] + " needs an analyzer list and a written reason",
+					})
+					continue
+				}
+				entry := supEntry{
+					analyzers: strings.Split(fields[1], ","),
+					file:      pos.Filename,
+				}
+				if fields[0] == "file-ignore" {
+					entry.from, entry.to = 1, int(^uint(0)>>1)
+				} else if span, ok := declSpan[pos.Line]; ok {
+					entry.from, entry.to = span[0], span[1]
+				} else {
+					entry.from, entry.to = pos.Line, pos.Line+1
+				}
+				s.entries = append(s.entries, entry)
+			}
+		}
+	}
+	return s
+}

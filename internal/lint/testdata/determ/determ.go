@@ -1,0 +1,97 @@
+// Package determ seeds determinism-analyzer fixtures: map range loops
+// whose iteration order escapes (flagged) next to provably
+// order-insensitive forms (accepted).
+package determ
+
+import "sort"
+
+// Keys leaks map order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "never sorted afterwards"
+		out = append(out, k)
+	}
+	return out
+}
+
+// KeysSorted collects then sorts: accepted.
+func KeysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total is commutative accumulation: accepted.
+func Total(m map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Max is the single-accumulator max pattern: accepted.
+func Max(m map[int]int) int {
+	best := 0
+	for v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Victim breaks ties by visit order — a multi-variable update whose result
+// depends on iteration order.
+func Victim(m map[uint64]uint64) uint64 {
+	var victim uint64
+	oldest := ^uint64(0)
+	for a, tick := range m { // want "order-sensitive iteration"
+		if tick < oldest {
+			oldest, victim = tick, a
+		}
+	}
+	return victim
+}
+
+// First exits early: whichever key happens to be visited first wins.
+func First(m map[string]int) string {
+	for k := range m { // want "order-sensitive iteration"
+		return k
+	}
+	return ""
+}
+
+// Emit calls out of the loop in map order.
+func Emit(m map[string]int, sink func(string)) {
+	for k := range m { // want "order-sensitive iteration"
+		sink(k)
+	}
+}
+
+// Prune deletes while iterating: accepted (distinct keys commute).
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Project writes slots keyed by the loop key: accepted.
+func Project(src map[string]int, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+// Waived is order-sensitive but carries an audited reason.
+func Waived(m map[string]int, sink func(string)) {
+	//senss-lint:ignore determinism fixture: demonstrating an audited waiver
+	for k := range m {
+		sink(k)
+	}
+}

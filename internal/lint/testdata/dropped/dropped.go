@@ -1,0 +1,45 @@
+// Package dropped seeds error-discipline fixtures: silently discarded
+// error returns (flagged) next to handled, explicitly ignored, and
+// best-effort forms (accepted).
+package dropped
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Drop discards errors in statement position.
+func Drop() {
+	mayFail() // want "error result of mayFail is dropped"
+	pair()    // want "error result of pair is dropped"
+}
+
+// DropDefer discards an error in a deferred call.
+func DropDefer() {
+	defer os.Remove("scratch") // want "error result of os.Remove is dropped"
+}
+
+// Handle checks: accepted.
+func Handle() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Conscious ignores explicitly: accepted.
+func Conscious() {
+	_ = mayFail()
+}
+
+// BestEffort writers are excluded: accepted.
+func BestEffort(sb *strings.Builder) {
+	fmt.Println("status")
+	sb.WriteString("ok")
+}

@@ -1,0 +1,59 @@
+// Package secrets seeds secret-hygiene fixtures: key/pad/mask/IV material
+// reaching prints, logs, errors, and panics (flagged) next to innocuous
+// counters that share the vocabulary (accepted).
+package secrets
+
+import (
+	"fmt"
+	"log"
+)
+
+// Block mirrors the shape of aes.Block.
+type Block [16]byte
+
+// Group mirrors a group-information-table entry: its fields are secret
+// byte material.
+type Group struct {
+	SessionKey Block
+	MaskBanks  [][]Block
+}
+
+// LeakPrintf formats a session key.
+func LeakPrintf(sessionKey Block) {
+	fmt.Printf("installing key %x\n", sessionKey) // want `secret material "sessionKey" flows into fmt.Printf`
+}
+
+// LeakError folds pad bytes into an error string.
+func LeakError(pad []byte) error {
+	return fmt.Errorf("stale pad %x", pad) // want `secret material "pad" flows into fmt.Errorf`
+}
+
+// LeakLog logs a mask bank.
+func LeakLog(maskBank []Block) {
+	log.Println("bank", maskBank) // want `secret material "maskBank" flows into log.Println`
+}
+
+// LeakPanic panics with IV material.
+func LeakPanic(encIV Block) {
+	panic(fmt.Sprintf("bad IV %v", encIV)) // want `secret material "encIV" flows into panic`
+}
+
+// LeakStruct prints a struct carrying secret fields.
+func LeakStruct(keyTable *Group) {
+	fmt.Println(keyTable) // want `secret material "keyTable" flows into fmt.Println`
+}
+
+// LeakSlice leaks through a subexpression.
+func LeakSlice(sessionKey Block) string {
+	return fmt.Sprintf("%x", sessionKey[:4]) // want `secret material "sessionKey" flows into fmt.Sprintf`
+}
+
+// Counters shares the vocabulary but carries no byte material: accepted.
+func Counters(padHits, padMisses uint64, keyCount int) {
+	fmt.Printf("pad hits %d misses %d keys %d\n", padHits, padMisses, keyCount)
+}
+
+// Metadata about secrets (sizes, indices) is fine: accepted.
+func Metadata(maskBank []Block) {
+	fmt.Printf("bank of %d masks\n", len(maskBank))
+}

@@ -1,0 +1,40 @@
+// Package suppress exercises the directive machinery itself: line and
+// declaration coverage, the mandatory written reason, and malformed
+// directives being findings in their own right.
+package suppress
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+// Preceding-line directive covers the next line.
+func Covered() {
+	//senss-lint:ignore droppederr fixture: waiver on the preceding line
+	mayFail()
+}
+
+// Inline directive covers its own line.
+func Inline() {
+	mayFail() //senss-lint:ignore droppederr fixture: inline waiver
+}
+
+// A reason-less directive suppresses nothing and is itself a finding.
+func NoReason() {
+	//senss-lint:ignore droppederr // want "needs an analyzer list and a written reason"
+	mayFail() // want "error result of mayFail is dropped"
+}
+
+// A directive in the doc comment covers the whole declaration.
+//
+//senss-lint:ignore droppederr fixture: declaration-wide waiver
+func DeclWide() {
+	mayFail()
+	mayFail()
+}
+
+// An unknown verb is malformed.
+//
+//senss-lint:suppress droppederr oops // want "malformed senss-lint directive"
+func Malformed() {
+	mayFail() // want "error result of mayFail is dropped"
+}

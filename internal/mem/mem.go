@@ -7,7 +7,10 @@
 // on a real DIMM would.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // LineSize is the storage granularity in bytes, matching the L2 line size
 // of the paper's configuration (Figure 5).
@@ -97,12 +100,15 @@ func (s *Store) Tamper(addr uint64, mask byte) {
 	l[addr%LineSize] ^= mask
 }
 
-// Touched returns the addresses of all allocated lines (unordered).
+// Touched returns the addresses of all allocated lines in ascending order,
+// so callers that derive state from the line set (memsec encryption sweep,
+// integrity tree construction) stay bit-reproducible.
 func (s *Store) Touched() []uint64 {
 	out := make([]uint64, 0, len(s.lines))
 	for a := range s.lines {
 		out = append(out, a)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -100,8 +100,15 @@ func (r *Rand) Perm(n int) []int {
 
 // Read fills p with pseudo-random bytes; it never fails, satisfying
 // io.Reader so the generator can feed RSA key generation deterministically.
+// Callers that do not need the io.Reader shape should use Fill, whose
+// signature cannot drop an error.
 func (r *Rand) Read(p []byte) (int, error) {
-	n := len(p)
+	r.Fill(p)
+	return len(p), nil
+}
+
+// Fill fills p with pseudo-random bytes.
+func (r *Rand) Fill(p []byte) {
 	for len(p) >= 8 {
 		binary.LittleEndian.PutUint64(p, r.Uint64())
 		p = p[8:]
@@ -111,7 +118,6 @@ func (r *Rand) Read(p []byte) (int, error) {
 		binary.LittleEndian.PutUint64(b[:], r.Uint64())
 		copy(p, b[:])
 	}
-	return n, nil
 }
 
 // Block16 returns 16 pseudo-random bytes, the shape of an AES block.
