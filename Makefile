@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race verify clean
+.PHONY: all build test vet lint race farm-race figures verify clean
 
 all: verify
 
@@ -19,9 +19,21 @@ lint: build
 race:
 	$(GO) test -race ./...
 
+# farm-race hammers the orchestration pool specifically: the worker
+# pool, cache, and manifest paths under the race detector with high
+# iteration count. Cheap enough to run on every change to internal/farm.
+farm-race:
+	$(GO) test -race -count=3 ./internal/farm
+
+# figures regenerates the full evaluation (Figures 6-11 + §7.1) through
+# the persistent cache; a second invocation assembles from .senss-cache
+# without simulating.
+figures: build
+	$(GO) run ./cmd/senss-tables -fig all -cache-dir .senss-cache
+
 # verify is the full pre-merge gate: everything CI runs, in order of
 # increasing cost.
-verify: build vet lint test race
+verify: build vet lint test farm-race race
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,433 @@
+// Command senss-farm drives the internal/farm orchestration subsystem
+// directly: it runs figure sweeps across a bounded worker pool with a
+// persistent content-addressed result cache, reports sweep/cache status,
+// garbage-collects stale entries, pre-warms the cache, and records the
+// cold-vs-parallel benchmark trajectory point.
+//
+// Subcommands:
+//
+//	senss-farm run    -fig all -workers 8 -cache-dir .senss-cache
+//	senss-farm warm   -fig 6 -size bench
+//	senss-farm status -cache-dir .senss-cache -json
+//	senss-farm gc     -cache-dir .senss-cache [-all]
+//	senss-farm bench  -out BENCH_farm.json
+//
+// Interrupted sweeps are resumable: every completed job is cached and
+// recorded in the sweep manifest, so re-running the same command picks
+// up from the completed set.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"senss"
+	"senss/internal/farm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(args)
+	case "warm":
+		err = cmdWarm(args)
+	case "status":
+		err = cmdStatus(args)
+	case "gc":
+		err = cmdGC(args)
+	case "bench":
+		err = cmdBench(args)
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "senss-farm: unknown subcommand %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "senss-farm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprint(w, `senss-farm — parallel experiment orchestration with result caching
+
+usage: senss-farm <run|warm|status|gc|bench> [flags]
+
+  run     execute figure sweeps and print their tables
+  warm    execute figure sweeps, populating the cache only
+  status  report sweep manifests and cache contents
+  gc      remove stale/corrupt cache entries (-all wipes everything)
+  bench   measure cold serial vs parallel wall-clock for the Figure 6
+          sweep and write the BENCH_farm.json trajectory point
+
+common flags: -fig, -size, -workers, -cache-dir, -json (see <sub> -h)
+`)
+}
+
+// sweepFlags is the flag set shared by the sweep-running subcommands.
+type sweepFlags struct {
+	fs       *flag.FlagSet
+	fig      *string
+	size     *string
+	workers  *int
+	cacheDir *string
+	jsonOut  *bool
+	markdown *bool
+}
+
+func newSweepFlags(name string) *sweepFlags {
+	fs := flag.NewFlagSet("senss-farm "+name, flag.ExitOnError)
+	return &sweepFlags{
+		fs:       fs,
+		fig:      fs.String("fig", "all", "figure: 6, 7, 8, 9, 10, 11, scale, or all"),
+		size:     fs.String("size", "test", "problem scale: test or bench"),
+		workers:  fs.Int("workers", 0, "concurrent simulations (0 = one per core)"),
+		cacheDir: fs.String("cache-dir", ".senss-cache", "result cache directory (empty = in-memory only)"),
+		jsonOut:  fs.Bool("json", false, "emit machine-readable JSON instead of text"),
+		markdown: fs.Bool("markdown", false, "emit markdown tables (run only)"),
+	}
+}
+
+func (sf *sweepFlags) parse(args []string) (scale senss.Size, figs []int, err error) {
+	if err := sf.fs.Parse(args); err != nil {
+		return scale, nil, err
+	}
+	switch *sf.size {
+	case "test":
+		scale = senss.SizeTest
+	case "bench":
+		scale = senss.SizeBench
+	default:
+		return scale, nil, fmt.Errorf("unknown size %q", *sf.size)
+	}
+	switch *sf.fig {
+	case "all":
+		figs = []int{6, 7, 8, 9, 10, 11}
+	case "scale":
+		figs = []int{figScale}
+	default:
+		var n int
+		if _, err := fmt.Sscanf(*sf.fig, "%d", &n); err != nil || n < 6 || n > 11 {
+			return scale, nil, fmt.Errorf("bad figure %q (6-11, scale, or all)", *sf.fig)
+		}
+		figs = []int{n}
+	}
+	return scale, figs, nil
+}
+
+// figScale is the pseudo figure number for the E2 scalability sweep.
+const figScale = -2
+
+// newHarness assembles the farm (with a stderr progress reporter unless
+// JSON output is requested) and the harness on top of it.
+func (sf *sweepFlags) newHarness(scale senss.Size) (*senss.Harness, *farm.Farm, error) {
+	opts := farm.Options{Workers: *sf.workers, CacheDir: *sf.cacheDir}
+	if !*sf.jsonOut {
+		opts.Progress = farm.NewReporter(os.Stderr)
+	}
+	f, err := farm.New(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return senss.NewHarnessOn(scale, f), f, nil
+}
+
+// figTables runs one figure (or the scalability sweep) to completion.
+func figTables(h *senss.Harness, n int) ([]*senss.Table, error) {
+	if n == figScale {
+		return h.Scalability()
+	}
+	return h.Figure(n)
+}
+
+// runReport is the -json document emitted by run and warm.
+type runReport struct {
+	Size    string          `json:"size"`
+	Workers int             `json:"workers"`
+	Sweeps  []farm.Manifest `json:"sweeps"`
+	Cache   farm.CacheStats `json:"cache"`
+}
+
+func cmdRun(args []string) error {
+	sf := newSweepFlags("run")
+	scale, figs, err := sf.parse(args)
+	if err != nil {
+		return err
+	}
+	h, f, err := sf.newHarness(scale)
+	if err != nil {
+		return err
+	}
+	report := runReport{Size: *sf.size, Workers: f.Workers()}
+	for _, n := range figs {
+		tables, err := figTables(h, n)
+		if err != nil {
+			return err
+		}
+		if *sf.jsonOut {
+			if m := loadSweepManifest(h, f, n); m != nil {
+				report.Sweeps = append(report.Sweeps, *m)
+			}
+			continue
+		}
+		for _, t := range tables {
+			if *sf.markdown {
+				fmt.Println(t.Markdown())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+	}
+	report.Cache = f.Cache().Stats()
+	if *sf.jsonOut {
+		return emitJSON(report)
+	}
+	fmt.Fprintf(os.Stderr, "farm cache: %+v\n", report.Cache)
+	return nil
+}
+
+func cmdWarm(args []string) error {
+	sf := newSweepFlags("warm")
+	scale, figs, err := sf.parse(args)
+	if err != nil {
+		return err
+	}
+	h, f, err := sf.newHarness(scale)
+	if err != nil {
+		return err
+	}
+	report := runReport{Size: *sf.size, Workers: f.Workers()}
+	for _, n := range figs {
+		if _, err := figTables(h, n); err != nil {
+			return err
+		}
+		if m := loadSweepManifest(h, f, n); m != nil {
+			report.Sweeps = append(report.Sweeps, *m)
+			if !*sf.jsonOut {
+				done, failed, pending := m.Counts()
+				fmt.Printf("%-14s %d done, %d failed, %d pending\n", m.Sweep, done, failed, pending)
+			}
+		}
+	}
+	report.Cache = f.Cache().Stats()
+	if *sf.jsonOut {
+		return emitJSON(report)
+	}
+	fmt.Printf("cache: %d hits (%d disk), %d misses, %d corrupt\n",
+		report.Cache.Hits, report.Cache.DiskHits, report.Cache.Misses, report.Cache.Corrupt)
+	return nil
+}
+
+// loadSweepManifest fetches the manifest a figure's sweep just wrote
+// (nil for memory-only farms, where no manifest persists).
+func loadSweepManifest(h *senss.Harness, f *farm.Farm, n int) *farm.Manifest {
+	if f.Cache().Dir() == "" {
+		return nil
+	}
+	var tag string
+	var err error
+	if n == figScale {
+		tag = "scaleE2-" + sizeLabel(h)
+	} else {
+		tag, err = h.SweepTag(n)
+		if err != nil {
+			return nil
+		}
+	}
+	m, err := farm.LoadManifest(f.Cache().Dir(), tag)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+func sizeLabel(h *senss.Harness) string {
+	if h.Size == senss.SizeBench {
+		return "bench"
+	}
+	return "test"
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("senss-farm status", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", ".senss-cache", "result cache directory")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := farm.NewCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	hashes, invalid, err := c.DiskEntries()
+	if err != nil {
+		return err
+	}
+	manifests, err := farm.Manifests(*cacheDir)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		type status struct {
+			CacheDir string          `json:"cache_dir"`
+			Version  string          `json:"version"`
+			Entries  int             `json:"entries"`
+			Invalid  int             `json:"invalid"`
+			Sweeps   []farm.Manifest `json:"sweeps"`
+		}
+		out := status{CacheDir: *cacheDir, Version: farm.CacheVersion, Entries: len(hashes), Invalid: invalid}
+		for _, m := range manifests {
+			out.Sweeps = append(out.Sweeps, *m)
+		}
+		return emitJSON(out)
+	}
+	fmt.Printf("cache %s (version %s): %d valid entries, %d invalid/stale\n",
+		*cacheDir, farm.CacheVersion, len(hashes), invalid)
+	if len(manifests) == 0 {
+		fmt.Println("no sweep manifests")
+		return nil
+	}
+	for _, m := range manifests {
+		done, failed, pending := m.Counts()
+		state := "complete"
+		if pending > 0 {
+			state = "resumable"
+		}
+		if failed > 0 {
+			state = "has failures"
+		}
+		fmt.Printf("  %-16s %3d jobs: %3d done, %d failed, %d pending  (%s)\n",
+			m.Sweep, len(m.Jobs), done, failed, pending, state)
+	}
+	return nil
+}
+
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("senss-farm gc", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", ".senss-cache", "result cache directory")
+	all := fs.Bool("all", false, "remove every entry and manifest, not just stale/corrupt ones")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := farm.NewCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	removed, err := c.GC(*all)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc %s: removed %d file(s)\n", *cacheDir, removed)
+	return nil
+}
+
+// benchReport is the recorded trajectory point: cold-cache serial vs
+// parallel wall-clock for the Figure 6 sweep, plus the warm-cache replay.
+type benchReport struct {
+	Benchmark       string  `json:"benchmark"`
+	Date            string  `json:"date"`
+	HostCPUs        int     `json:"host_cpus"`
+	Size            string  `json:"size"`
+	Jobs            int     `json:"jobs"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	WarmSeconds     float64 `json:"warm_seconds"`
+	WarmHitRate     float64 `json:"warm_hit_rate"`
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("senss-farm bench", flag.ExitOnError)
+	size := fs.String("size", "test", "problem scale: test or bench")
+	workers := fs.Int("workers", 0, "parallel worker count (0 = one per core)")
+	out := fs.String("out", "BENCH_farm.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := senss.SizeTest
+	if *size == "bench" {
+		scale = senss.SizeBench
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+
+	// The job set is enumerated once; each phase gets a fresh
+	// memory-only farm so every timing starts cold.
+	jobs, err := senss.NewHarnessOn(scale, farm.NewMem(1)).FigureJobs(6)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: %d jobs, cold serial...\n", len(jobs))
+	serial := farm.NewMem(1)
+	t0 := time.Now()
+	if err := serial.Warm(jobs); err != nil {
+		return err
+	}
+	serialDur := time.Since(t0)
+
+	fmt.Fprintf(os.Stderr, "bench: cold parallel (%d workers)...\n", w)
+	par := farm.NewMem(w)
+	t0 = time.Now()
+	if err := par.Warm(jobs); err != nil {
+		return err
+	}
+	parallelDur := time.Since(t0)
+
+	before := par.Cache().Stats()
+	t0 = time.Now()
+	if err := par.Warm(jobs); err != nil {
+		return err
+	}
+	warmDur := time.Since(t0)
+	after := par.Cache().Stats()
+	hitRate := float64(after.Hits-before.Hits) / float64(len(jobs))
+
+	report := benchReport{
+		Benchmark:       "farm-fig6-sweep",
+		Date:            time.Now().UTC().Format(time.RFC3339),
+		HostCPUs:        runtime.NumCPU(),
+		Size:            *size,
+		Jobs:            len(jobs),
+		Workers:         w,
+		SerialSeconds:   serialDur.Seconds(),
+		ParallelSeconds: parallelDur.Seconds(),
+		Speedup:         serialDur.Seconds() / parallelDur.Seconds(),
+		WarmSeconds:     warmDur.Seconds(),
+		WarmHitRate:     hitRate,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serial %.2fs, parallel %.2fs (%d workers) = %.2fx, warm replay %.3fs (hit rate %.2f) -> %s\n",
+		report.SerialSeconds, report.ParallelSeconds, w, report.Speedup, report.WarmSeconds, hitRate, *out)
+	return nil
+}
+
+func emitJSON(v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(data, '\n'))
+	return err
+}

@@ -1,10 +1,17 @@
 // Command senss-tables regenerates the paper's evaluation artifacts
 // (Figures 6-11) as text tables, plus the §7.1 hardware-cost numbers.
 //
+// Sweeps run on the internal/farm orchestration pool: independent
+// simulations execute concurrently (bounded by -workers) and results are
+// content-addressed, so identical configurations across figures simulate
+// once. With -cache-dir the results persist and a re-run assembles
+// tables without simulating at all. Output is byte-identical for any
+// worker count and cache temperature.
+//
 // Examples:
 //
 //	senss-tables -fig 6
-//	senss-tables -fig all -size bench
+//	senss-tables -fig all -size bench -workers 8 -cache-dir .senss-cache
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 
 	"senss"
 	"senss/internal/core"
+	"senss/internal/farm"
 )
 
 func main() {
@@ -21,6 +29,9 @@ func main() {
 		fig      = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, hw, detect, scale, or all")
 		size     = flag.String("size", "test", "problem scale: test (fast) or bench (larger)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = one per core)")
+		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (empty = in-memory only)")
+		progress = flag.Bool("progress", false, "report live sweep progress on stderr")
 	)
 	flag.Parse()
 
@@ -32,7 +43,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	h := senss.NewHarness(scale)
+	opts := farm.Options{Workers: *workers, CacheDir: *cacheDir}
+	if *progress {
+		opts.Progress = farm.NewReporter(os.Stderr)
+	}
+	f, err := farm.New(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "senss-tables: %v\n", err)
+		os.Exit(1)
+	}
+
+	h := senss.NewHarnessOn(scale, f)
 	figures := []int{6, 7, 8, 9, 10, 11}
 	switch *fig {
 	case "all":

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"senss/internal/attack"
+	"senss/internal/farm"
 	"senss/internal/machine"
 	"senss/internal/stats"
 	"senss/internal/workload"
@@ -18,22 +19,117 @@ import (
 // Problem and cache sizes are scaled together (DESIGN.md §2): the paper's
 // "1 MB / 4 MB L2" points map to capacities proportionate to the scaled
 // working sets, preserving which level the working set spills out of.
+//
+// Since the farm rewiring (DESIGN.md §10), every figure runs as a
+// two-pass sweep over internal/farm: a collection pass enumerates each
+// (workload, config) point without simulating, the farm executes the
+// deduplicated job set across its worker pool (each unique configuration
+// simulates exactly once per sweep — and once per cache lifetime when a
+// disk cache is attached), and the assembly pass rebuilds the tables
+// entirely from cache hits. Tables are therefore byte-identical for any
+// worker count and any cache temperature.
 
-// Harness runs experiment sweeps with base-run caching.
+// Harness runs experiment sweeps on a farm.
 type Harness struct {
 	Size      Size
 	Workloads []string
-	baseCache map[string]Run
+
+	farm *farm.Farm
+
+	// collecting/pending implement the two-pass sweep protocol: while
+	// collecting, run records jobs instead of simulating; figure is the
+	// provenance tag stamped on the jobs of the sweep in flight.
+	collecting bool
+	pending    []farm.Job
+	figure     string
 }
 
 // NewHarness creates a harness at the given problem scale over the
-// paper's five benchmarks.
+// paper's five benchmarks, on a memory-only farm with one worker per
+// core.
 func NewHarness(size Size) *Harness {
+	return NewHarnessOn(size, farm.NewMem(0))
+}
+
+// NewHarnessOn runs the harness on an explicit farm, putting worker
+// count, disk caching, and progress reporting under the caller's
+// control (cmd/senss-tables and cmd/senss-farm).
+func NewHarnessOn(size Size, f *farm.Farm) *Harness {
 	return &Harness{
 		Size:      size,
 		Workloads: workload.PaperSuite(),
-		baseCache: make(map[string]Run),
+		farm:      f,
 	}
+}
+
+// Farm exposes the harness's farm (cache statistics, worker count).
+func (h *Harness) Farm() *farm.Farm { return h.farm }
+
+// sizeName labels the problem scale in sweep names.
+func (h *Harness) sizeName() string {
+	if h.Size == SizeBench {
+		return "bench"
+	}
+	return "test"
+}
+
+// run routes one simulation point through the farm: during the
+// collection pass it records the job and returns a zero Run (the derived
+// metrics of the discarded first-pass tables are all zero-safe); during
+// assembly it is served from the farm's cache.
+func (h *Harness) run(name string, cfg Config) (Run, error) {
+	job := farm.Job{Workload: name, Size: h.Size, Config: cfg, Figure: h.figure}
+	if h.collecting {
+		h.pending = append(h.pending, job)
+		return Run{}, nil
+	}
+	return h.farm.Get(job)
+}
+
+// baselineOf canonicalizes cfg into its insecure baseline: security off
+// and every protection parameter reset to the defaults. Baseline runs
+// are invariant to the protection parameters (machine.New gates all
+// security machinery on Mode), so canonicalizing them gives every
+// secured variant of one machine shape a single shared baseline job —
+// Figures 6, 8, and 10 (and each mask/interval point of 7 and 9) reuse
+// one baseline simulation instead of re-running it per security level.
+func baselineOf(cfg Config) Config {
+	base := cfg
+	base.Security = machine.DefaultConfig().Security
+	return base
+}
+
+// pair runs the canonical baseline and the secured variant.
+func (h *Harness) pair(name string, cfg Config) (base, sec Run, err error) {
+	base, err = h.run(name, baselineOf(cfg))
+	if err != nil {
+		return base, sec, err
+	}
+	sec, err = h.run(name, cfg)
+	return base, sec, err
+}
+
+// collect performs the enumeration pass: fn runs with simulation
+// disabled, and every point it routes through run/pair is recorded.
+func (h *Harness) collect(tag string, fn func() ([]*Table, error)) []farm.Job {
+	h.figure = tag
+	h.collecting, h.pending = true, nil
+	_, _ = fn() // first-pass tables and errors are discarded; no simulation happens
+	h.collecting = false
+	jobs := h.pending
+	h.pending = nil
+	return jobs
+}
+
+// sweep is the two-pass figure protocol: collect the job set, execute it
+// as a named resumable sweep on the farm, then assemble the tables from
+// cache hits.
+func (h *Harness) sweep(tag string, fn func() ([]*Table, error)) ([]*Table, error) {
+	jobs := h.collect(tag, fn)
+	if _, _, err := h.farm.RunSweep(tag+"-"+h.sizeName(), jobs); err != nil {
+		return nil, err
+	}
+	return fn()
 }
 
 // l2Bytes maps the paper's small (1 MB) and large (4 MB) L2 points to
@@ -69,25 +165,6 @@ func (h *Harness) baseConfig(procs int, bigL2 bool) Config {
 	return cfg
 }
 
-// pair runs the baseline (cached) and the secured variant.
-func (h *Harness) pair(name string, cfg Config) (base, sec Run, err error) {
-	key := fmt.Sprintf("%s/%dP/%dB/%d", name, cfg.Procs, cfg.Coherence.L2Size, cfg.Seed)
-	if cached, ok := h.baseCache[key]; ok {
-		base = cached
-	} else {
-		baseCfg := cfg
-		baseCfg.Security.Mode = machine.SecurityOff
-		baseCfg.Security.Naive = false
-		base, err = RunWorkload(name, h.Size, baseCfg)
-		if err != nil {
-			return base, sec, err
-		}
-		h.baseCache[key] = base
-	}
-	sec, err = RunWorkload(name, h.Size, cfg)
-	return base, sec, err
-}
-
 // senssConfig is the paper's bus-security-only setup: perfect mask supply,
 // authentication every 100 cache-to-cache transfers.
 func (h *Harness) senssConfig(procs int, bigL2 bool) Config {
@@ -102,7 +179,9 @@ func pct(v float64) string { return fmt.Sprintf("%.3f", v) }
 
 // Figure6 regenerates Figure 6: % slowdown of SENSS over the baseline for
 // both L2 classes on 2 and 4 processors (authentication interval 100).
-func (h *Harness) Figure6() ([]*Table, error) {
+func (h *Harness) Figure6() ([]*Table, error) { return h.sweep("fig6", h.figure6) }
+
+func (h *Harness) figure6() ([]*Table, error) {
 	var tables []*Table
 	for _, big := range []bool{false, true} {
 		t := &Table{
@@ -132,7 +211,9 @@ func (h *Harness) Figure6() ([]*Table, error) {
 
 // Figure7 regenerates Figure 7: % slowdown and % bus-activity increase as
 // the mask supply shrinks (perfect, 4, 2, 1) on 4 processors, large L2.
-func (h *Harness) Figure7() ([]*Table, error) {
+func (h *Harness) Figure7() ([]*Table, error) { return h.sweep("fig7", h.figure7) }
+
+func (h *Harness) figure7() ([]*Table, error) {
 	type maskPoint struct {
 		label   string
 		masks   int
@@ -187,7 +268,9 @@ func (h *Harness) Figure7() ([]*Table, error) {
 
 // Figure8 regenerates Figure 8: % bus traffic increase for both L2 classes
 // on 2 and 4 processors (authentication interval 100).
-func (h *Harness) Figure8() ([]*Table, error) {
+func (h *Harness) Figure8() ([]*Table, error) { return h.sweep("fig8", h.figure8) }
+
+func (h *Harness) figure8() ([]*Table, error) {
 	var tables []*Table
 	for _, big := range []bool{false, true} {
 		t := &Table{
@@ -217,7 +300,9 @@ func (h *Harness) Figure8() ([]*Table, error) {
 
 // Figure9 regenerates Figure 9: % slowdown and % bus traffic increase as
 // the authentication interval shrinks (100, 32, 10, 1) on 4P, large L2.
-func (h *Harness) Figure9() ([]*Table, error) {
+func (h *Harness) Figure9() ([]*Table, error) { return h.sweep("fig9", h.figure9) }
+
+func (h *Harness) figure9() ([]*Table, error) {
 	intervals := []int{100, 32, 10, 1}
 	slow := &Table{
 		Title:   "Figure 9a — % slowdown vs authentication interval (4P, 4M-class L2)",
@@ -268,7 +353,9 @@ func (h *Harness) Figure9() ([]*Table, error) {
 // working sets; at our scale that capacity ratio corresponds to the large
 // L2 class (the small class would overstate hash-tree cache pollution far
 // beyond the paper's regime).
-func (h *Harness) Figure10() ([]*Table, error) {
+func (h *Harness) Figure10() ([]*Table, error) { return h.sweep("fig10", h.figure10) }
+
+func (h *Harness) figure10() ([]*Table, error) {
 	slow := &Table{
 		Title:   "Figure 10a — % slowdown, 1M-class L2 (4P)",
 		Columns: []string{"benchmark", "SENSS", "SENSS+Mem_OTP_CHash"},
@@ -314,6 +401,10 @@ func (h *Harness) Figure10() ([]*Table, error) {
 // perturbations. The spread — including secure runs that beat the base —
 // is the paper's point about full-system simulation noise.
 func (h *Harness) Figure11(seeds int) ([]*Table, error) {
+	return h.sweep("fig11", func() ([]*Table, error) { return h.figure11(seeds) })
+}
+
+func (h *Harness) figure11(seeds int) ([]*Table, error) {
 	t := &Table{
 		Title:   "Figure 11 / §7.8 — timing variability under ±3-cycle bus perturbation (falseshare, 4P)",
 		Columns: []string{"perturb seed", "base cycles", "senss cycles", "slowdown %"},
@@ -323,7 +414,7 @@ func (h *Harness) Figure11(seeds int) ([]*Table, error) {
 		baseCfg := h.baseConfig(4, true)
 		baseCfg.PerturbMax = 3
 		baseCfg.PerturbSeed = uint64(seed + 1)
-		base, err := RunWorkload("falseshare", h.Size, baseCfg)
+		base, err := h.run("falseshare", baseCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +422,7 @@ func (h *Harness) Figure11(seeds int) ([]*Table, error) {
 		secCfg.Security.Mode = machine.SecurityBus
 		secCfg.Security.Senss.Perfect = true
 		secCfg.Security.Senss.AuthInterval = 100
-		sec, err := RunWorkload("falseshare", h.Size, secCfg)
+		sec, err := h.run("falseshare", secCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -351,6 +442,9 @@ func (h *Harness) Figure11(seeds int) ([]*Table, error) {
 // point of a radix run (per seed) and measure how many protected transfers
 // pass between the attack and the global alarm. The paper's guarantee is
 // latency ≤ interval; the table shows the measured distribution.
+//
+// Attack injection needs a hand-assembled machine with a tamperer
+// attached, so this experiment does not route through the farm.
 func (h *Harness) DetectionLatency(seeds int) ([]*Table, error) {
 	t := &Table{
 		Title:   "Extension E1 — Type 1 attack detection latency (protected transfers until alarm)",
@@ -425,7 +519,9 @@ func (h *Harness) injectDrop(interval int, seed uint64) (latency uint64, detecte
 // processors and observes that SENSS overhead grows with the
 // cache-to-cache share; its architecture targets up to 32. This sweep
 // extends the Figure 6 measurement to 8 and 16 processors.
-func (h *Harness) Scalability() ([]*Table, error) {
+func (h *Harness) Scalability() ([]*Table, error) { return h.sweep("scaleE2", h.scalability) }
+
+func (h *Harness) scalability() ([]*Table, error) {
 	procsList := []int{2, 4, 8, 16}
 	slow := &Table{
 		Title:   "Extension E2 — % slowdown vs processor count (SENSS, interval 100, 4M-class L2)",
@@ -460,21 +556,52 @@ func (h *Harness) Scalability() ([]*Table, error) {
 	return []*Table{slow, share}, nil
 }
 
-// Figure returns the tables for a figure number (6-11).
-func (h *Harness) Figure(n int) ([]*Table, error) {
+// figureFn maps a figure number to its table generator and sweep tag.
+func (h *Harness) figureFn(n int) (fn func() ([]*Table, error), tag string, err error) {
 	switch n {
 	case 6:
-		return h.Figure6()
+		return h.figure6, "fig6", nil
 	case 7:
-		return h.Figure7()
+		return h.figure7, "fig7", nil
 	case 8:
-		return h.Figure8()
+		return h.figure8, "fig8", nil
 	case 9:
-		return h.Figure9()
+		return h.figure9, "fig9", nil
 	case 10:
-		return h.Figure10()
+		return h.figure10, "fig10", nil
 	case 11:
-		return h.Figure11(8)
+		return func() ([]*Table, error) { return h.figure11(8) }, "fig11", nil
 	}
-	return nil, fmt.Errorf("senss: no experiment for figure %d (6-11 available)", n)
+	return nil, "", fmt.Errorf("senss: no experiment for figure %d (6-11 available)", n)
+}
+
+// Figure returns the tables for a figure number (6-11).
+func (h *Harness) Figure(n int) ([]*Table, error) {
+	fn, tag, err := h.figureFn(n)
+	if err != nil {
+		return nil, err
+	}
+	return h.sweep(tag, fn)
+}
+
+// FigureJobs enumerates the deduplicated job set of a figure's sweep
+// without simulating anything — the farm CLI's warm/status planning
+// input.
+func (h *Harness) FigureJobs(n int) ([]farm.Job, error) {
+	fn, tag, err := h.figureFn(n)
+	if err != nil {
+		return nil, err
+	}
+	jobs := h.collect(tag, fn)
+	unique, _ := farm.Dedupe(jobs)
+	return unique, nil
+}
+
+// SweepTag returns the manifest sweep name a figure runs under.
+func (h *Harness) SweepTag(n int) (string, error) {
+	_, tag, err := h.figureFn(n)
+	if err != nil {
+		return "", err
+	}
+	return tag + "-" + h.sizeName(), nil
 }

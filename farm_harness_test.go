@@ -1,0 +1,213 @@
+package senss
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"senss/internal/farm"
+)
+
+// renderAll flattens tables to one comparable string.
+func renderAll(tables []*Table) string {
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// runFigure6On regenerates the Figure 6 grid on a farm with the given
+// worker count and cache directory, returning the rendered tables and
+// the sweep manifest bytes.
+func runFigure6On(t *testing.T, workers int, dir string) (tables string, manifest []byte) {
+	t.Helper()
+	f, err := farm.New(farm.Options{Workers: workers, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHarnessOn(SizeTest, f)
+	out, err := h.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := h.SweepTag(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(farm.ManifestPath(dir, tag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return renderAll(out), data
+}
+
+// TestFigure6DeterministicUnderConcurrency is the subsystem's
+// determinism proof: the full Figure 6 grid must produce byte-identical
+// tables and byte-identical sweep manifests whether it runs on one
+// worker, on eight, or entirely from a warm cache.
+func TestFigure6DeterministicUnderConcurrency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	serialDir, parallelDir := t.TempDir(), t.TempDir()
+
+	serialTables, serialManifest := runFigure6On(t, 1, serialDir)
+	parallelTables, parallelManifest := runFigure6On(t, 8, parallelDir)
+
+	if serialTables != parallelTables {
+		t.Errorf("tables differ between workers=1 and workers=8:\n%s\nvs\n%s",
+			serialTables, parallelTables)
+	}
+	if string(serialManifest) != string(parallelManifest) {
+		t.Errorf("manifests differ between workers=1 and workers=8:\n%s\nvs\n%s",
+			serialManifest, parallelManifest)
+	}
+
+	// Warm replay: same directory, everything served from cache.
+	warmTables, warmManifest := runFigure6On(t, 8, parallelDir)
+	if warmTables != parallelTables {
+		t.Errorf("warm-cache tables differ from cold run")
+	}
+	if string(warmManifest) != string(parallelManifest) {
+		t.Errorf("warm-cache manifest differs from cold run")
+	}
+}
+
+// TestFigure6WarmCacheSkipsSimulation pins the caching contract at the
+// harness level: after one cold Figure 6 run, regenerating it performs
+// zero simulations.
+func TestFigure6WarmCacheSkipsSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	dir := t.TempDir()
+	f, err := farm.New(farm.Options{Workers: 4, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHarnessOn(SizeTest, f)
+	h.Workloads = []string{"falseshare", "lockcontend"}
+	if _, err := h.Figure6(); err != nil {
+		t.Fatal(err)
+	}
+	cold := f.Cache().Stats()
+
+	f2, err := farm.New(farm.Options{Workers: 4, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewHarnessOn(SizeTest, f2)
+	h2.Workloads = []string{"falseshare", "lockcontend"}
+	if _, err := h2.Figure6(); err != nil {
+		t.Fatal(err)
+	}
+	warm := f2.Cache().Stats()
+	if warm.Misses != 0 {
+		t.Errorf("warm run missed %d times (cold stats %+v, warm stats %+v)",
+			warm.Misses, cold, warm)
+	}
+	if warm.DiskHits == 0 {
+		t.Errorf("warm run never touched the disk cache: %+v", warm)
+	}
+}
+
+// TestBaselineDedupeAcrossFigures pins the satellite: Figures 6 and 8
+// share identical configurations (and Figure 10's SENSS arm repeats
+// them), so regenerating all three on one farm simulates each unique
+// config exactly once — the baselines are canonicalized and shared.
+func TestBaselineDedupeAcrossFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple figure sweeps")
+	}
+	f := farm.NewMem(4)
+	h := NewHarnessOn(SizeTest, f)
+	h.Workloads = []string{"falseshare"}
+
+	if _, err := h.Figure6(); err != nil {
+		t.Fatal(err)
+	}
+	after6 := f.Cache().Stats()
+	// Figure 6 on one workload: 2 L2 classes x 2 proc counts x (base, sec)
+	// = 8 unique jobs, all cold.
+	if after6.Misses != 8 {
+		t.Errorf("figure 6 cold misses = %d, want 8", after6.Misses)
+	}
+
+	if _, err := h.Figure8(); err != nil {
+		t.Fatal(err)
+	}
+	after8 := f.Cache().Stats()
+	// Figure 8 re-measures the same grid: zero new simulations.
+	if after8.Misses != after6.Misses {
+		t.Errorf("figure 8 re-simulated %d jobs that figure 6 already ran",
+			after8.Misses-after6.Misses)
+	}
+
+	if _, err := h.Figure10(); err != nil {
+		t.Fatal(err)
+	}
+	after10 := f.Cache().Stats()
+	// Figure 10 adds only the combined bus+memory+integrity arm (one new
+	// job); its baseline and SENSS arm are already cached.
+	if got := after10.Misses - after8.Misses; got != 1 {
+		t.Errorf("figure 10 added %d simulations, want 1 (the Mem_OTP_CHash arm)", got)
+	}
+}
+
+// TestSweepResumesAfterInterruption simulates an interrupted sweep: half
+// the Figure 6 grid is pre-warmed, then the full figure runs against the
+// same cache directory and must only simulate the other half.
+func TestSweepResumesAfterInterruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep")
+	}
+	dir := t.TempDir()
+	f, err := farm.New(farm.Options{Workers: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHarnessOn(SizeTest, f)
+	h.Workloads = []string{"falseshare", "lockcontend"}
+	jobs, err := h.FigureJobs(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Warm(jobs[:len(jobs)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := farm.New(farm.Options{Workers: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewHarnessOn(SizeTest, f2)
+	h2.Workloads = []string{"falseshare", "lockcontend"}
+	if _, err := h2.Figure6(); err != nil {
+		t.Fatal(err)
+	}
+	st := f2.Cache().Stats()
+	if int(st.Misses) != len(jobs)-len(jobs)/2 {
+		t.Errorf("resumed sweep simulated %d jobs, want %d (the un-warmed half)",
+			st.Misses, len(jobs)-len(jobs)/2)
+	}
+
+	// The manifest reflects a fully completed sweep.
+	tag, err := h2.SweepTag(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := farm.LoadManifest(dir, tag)
+	if err != nil || m == nil {
+		t.Fatalf("manifest missing after resume: %v", err)
+	}
+	if done, failed, pending := m.Counts(); failed != 0 || pending != 0 || done != len(m.Jobs) {
+		t.Errorf("resumed manifest counts = %d/%d/%d over %d jobs",
+			done, failed, pending, len(m.Jobs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, m.Jobs[0].Hash+".json")); err != nil {
+		t.Errorf("cache entry for manifest job missing: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+// Package driver executes one workload run on a freshly assembled
+// machine. It is the single implementation behind both the public
+// senss.RunWorkload facade and the internal/farm orchestration pool, so
+// the two can never drift apart in setup, validation, or error wording.
+package driver
+
+import (
+	"fmt"
+
+	"senss/internal/machine"
+	"senss/internal/stats"
+	"senss/internal/workload"
+)
+
+// Run builds a machine from cfg, runs the named workload on all
+// processors, validates the computed result, and returns the
+// measurements. Every call assembles a fresh machine and touches no
+// shared mutable state, so concurrent Runs are independent; each
+// individual simulation remains single-goroutine deterministic.
+func Run(name string, size workload.Size, cfg machine.Config) (stats.Run, error) {
+	w, err := workload.New(name, size)
+	if err != nil {
+		return stats.Run{}, err
+	}
+	m := machine.New(cfg)
+	progs := w.Setup(m, cfg.Procs)
+	run, err := m.Run(progs)
+	run.Workload = name
+	if err != nil {
+		return run, fmt.Errorf("senss: running %s: %w", name, err)
+	}
+	if halted, why := m.Halted(); halted {
+		return run, fmt.Errorf("senss: %s halted: %s", name, why)
+	}
+	if err := w.Validate(m); err != nil {
+		return run, fmt.Errorf("senss: %s produced wrong results: %w", name, err)
+	}
+	return run, nil
+}

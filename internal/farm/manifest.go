@@ -1,0 +1,171 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Job statuses recorded in sweep manifests.
+const (
+	StatusPending = "pending"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Manifest records one sweep: the deduplicated job set with per-job
+// status. It is rewritten atomically after every completion, so an
+// interrupted sweep resumes from its completed jobs: on the next run,
+// entries recorded done whose cache entry is still live are served
+// without re-simulating.
+//
+// Manifests are the sweep's determinism proof: entries are sorted by job
+// hash and carry no timestamps, durations, worker counts, or
+// cache-temperature bits, so the same sweep produces byte-identical
+// manifests whether it ran on one worker or eight, cold or warm.
+type Manifest struct {
+	Sweep   string          `json:"sweep"`
+	Version string          `json:"version"`
+	Jobs    []ManifestEntry `json:"jobs"`
+}
+
+// ManifestEntry is one job of the sweep.
+type ManifestEntry struct {
+	Hash     string `json:"hash"`
+	Workload string `json:"workload"`
+	Figure   string `json:"figure,omitempty"`
+	Procs    int    `json:"procs"`
+	L2Bytes  int    `json:"l2_bytes"`
+	Status   string `json:"status"`
+	Error    string `json:"error,omitempty"`
+}
+
+// newManifest builds a pending manifest over the (already deduplicated)
+// jobs, sorted by hash.
+func newManifest(sweep string, jobs []Job, hashes []string) *Manifest {
+	m := &Manifest{Sweep: sweep, Version: CacheVersion}
+	for i, j := range jobs {
+		m.Jobs = append(m.Jobs, ManifestEntry{
+			Hash:     hashes[i],
+			Workload: j.Workload,
+			Figure:   j.Figure,
+			Procs:    j.Config.Procs,
+			L2Bytes:  j.Config.Coherence.L2Size,
+			Status:   StatusPending,
+		})
+	}
+	sort.Slice(m.Jobs, func(a, b int) bool { return m.Jobs[a].Hash < m.Jobs[b].Hash })
+	return m
+}
+
+// setStatus updates the entry for hash.
+func (m *Manifest) setStatus(hash, status, errMsg string) {
+	for i := range m.Jobs {
+		if m.Jobs[i].Hash == hash {
+			m.Jobs[i].Status = status
+			m.Jobs[i].Error = errMsg
+			return
+		}
+	}
+}
+
+// Counts tallies entries per status.
+func (m *Manifest) Counts() (done, failed, pending int) {
+	for _, e := range m.Jobs {
+		switch e.Status {
+		case StatusDone:
+			done++
+		case StatusFailed:
+			failed++
+		default:
+			pending++
+		}
+	}
+	return done, failed, pending
+}
+
+// Encode renders the manifest in its canonical byte form.
+func (m *Manifest) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("farm: encoding manifest: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// write persists the manifest atomically into dir.
+func (m *Manifest) write(dir string) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return atomicWrite(ManifestPath(dir, m.Sweep), data)
+}
+
+// ManifestPath is the manifest file for a sweep name within a cache
+// directory. Sweep names are sanitized into the filename alphabet.
+func ManifestPath(dir, sweep string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '-'
+	}, sweep)
+	return filepath.Join(dir, "manifest-"+clean+".json")
+}
+
+// LoadManifest reads a sweep's manifest from dir. A missing, unreadable,
+// or version-stale manifest returns (nil, nil): resumption is
+// best-effort and corruption means starting the sweep's bookkeeping
+// fresh, never failing it.
+func LoadManifest(dir, sweep string) (*Manifest, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(ManifestPath(dir, sweep))
+	if err != nil {
+		return nil, nil
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil || m.Version != CacheVersion {
+		return nil, nil
+	}
+	return &m, nil
+}
+
+// Manifests lists every readable sweep manifest in dir, sorted by sweep
+// name.
+func Manifests(dir string) ([]*Manifest, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []*Manifest
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, "manifest-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			continue
+		}
+		out = append(out, &m)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Sweep < out[b].Sweep })
+	return out, nil
+}

@@ -113,6 +113,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}{
 		{"determ", lint.AnalyzerDeterminism()},
 		{"nondet", lint.AnalyzerNondeterm()},
+		{"orchfix", lint.AnalyzerNondeterm()},
 		{"secrets", lint.AnalyzerSecrets()},
 		{"cycle", lint.AnalyzerCycleAcct()},
 		{"dropped", lint.AnalyzerDroppedErr()},

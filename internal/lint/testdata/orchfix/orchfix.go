@@ -1,0 +1,48 @@
+// Package orchfix pins the nondeterm analyzer's orchestration-package
+// allowlist: this package name is registered in orchestrationPkgs, so
+// goroutine creation, sync primitives, and wall-clock reads are accepted
+// here (worker pools and progress ETAs are load-bearing in
+// orchestration), while the global math/rand stream and sync.Map remain
+// banned everywhere. The companion nondet fixture pins the full ban for
+// simulator packages.
+package orchfix
+
+import (
+	"math/rand" // want "use senss/internal/rng"
+	"sync"
+	"time"
+)
+
+// Fan fans work out over a bounded pool: accepted in orchestration.
+func Fan(workers int, jobs []func()) {
+	ch := make(chan func())
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				job()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Start reads the host clock for progress reporting: accepted here.
+func Start() time.Time { return time.Now() }
+
+// Elapsed measures host wall time: accepted here.
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }
+
+// Draw consumes the global math/rand stream: still banned (the import
+// above is the finding) — orchestration gets no randomness waiver.
+func Draw() int { return rand.Intn(6) }
+
+// Registry would iterate nondeterministically: still banned even in
+// orchestration packages; results must be keyed and ordered explicitly.
+var Registry sync.Map // want "sync.Map iteration order is nondeterministic"

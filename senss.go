@@ -18,9 +18,8 @@
 package senss
 
 import (
-	"fmt"
-
 	"senss/internal/core"
+	"senss/internal/driver"
 	"senss/internal/machine"
 	"senss/internal/stats"
 	"senss/internal/workload"
@@ -92,26 +91,12 @@ func WorkloadNames() []string { return workload.AllNames() }
 func PaperSuite() []string { return workload.PaperSuite() }
 
 // RunWorkload builds a machine from cfg, runs the named workload on all
-// processors, validates the computed result, and returns the measurements.
+// processors, validates the computed result, and returns the
+// measurements. The implementation is internal/driver.Run — shared with
+// the internal/farm orchestration pool, which runs fleets of these
+// concurrently with content-addressed result caching.
 func RunWorkload(name string, size Size, cfg Config) (Run, error) {
-	w, err := workload.New(name, size)
-	if err != nil {
-		return Run{}, err
-	}
-	m := machine.New(cfg)
-	progs := w.Setup(m, cfg.Procs)
-	run, err := m.Run(progs)
-	run.Workload = name
-	if err != nil {
-		return run, fmt.Errorf("senss: running %s: %w", name, err)
-	}
-	if halted, why := m.Halted(); halted {
-		return run, fmt.Errorf("senss: %s halted: %s", name, why)
-	}
-	if err := w.Validate(m); err != nil {
-		return run, fmt.Errorf("senss: %s produced wrong results: %w", name, err)
-	}
-	return run, nil
+	return driver.Run(name, size, cfg)
 }
 
 // Compare runs the workload on the unprotected baseline and on cfg,
