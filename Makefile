@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race farm-race figures verify clean
+.PHONY: all build test vet lint race farm-race oracle fuzz-smoke figures verify clean
 
 all: verify
 
@@ -25,6 +25,22 @@ race:
 farm-race:
 	$(GO) test -race -count=3 ./internal/farm
 
+# oracle runs the shape-regression suite with the lockstep differential
+# oracle attached (SENSS_ORACLE=1): every bus transaction is replayed
+# against the untimed coherence and crypto reference models at zero
+# cycle cost, plus the oracle unit suite (planted-bug demonstrations).
+oracle: build
+	SENSS_ORACLE=1 $(GO) test -run 'TestShape|TestOracle' . ./internal/oracle
+
+# fuzz-smoke first replays every checked-in corpus entry through
+# cmd/senss-fuzz (deterministic, always), then gives each native fuzz
+# target 10s of coverage-guided exploration against the oracle.
+fuzz-smoke: build
+	$(GO) run ./cmd/senss-fuzz
+	$(GO) test ./internal/fuzzing -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime 10s
+	$(GO) test ./internal/fuzzing -run '^$$' -fuzz '^FuzzAdversary$$' -fuzztime 10s
+	$(GO) test ./internal/fuzzing -run '^$$' -fuzz '^FuzzConfig$$' -fuzztime 10s
+
 # figures regenerates the full evaluation (Figures 6-11 + §7.1) through
 # the persistent cache; a second invocation assembles from .senss-cache
 # without simulating.
@@ -33,7 +49,7 @@ figures: build
 
 # verify is the full pre-merge gate: everything CI runs, in order of
 # increasing cost.
-verify: build vet lint test farm-race race
+verify: build vet lint test farm-race race oracle fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"senss/internal/attack"
@@ -33,24 +34,33 @@ func main() {
 		return
 	}
 
-	failures := 0
-	for _, sc := range scenarios {
-		if *only != "" && sc.Name != *only {
-			continue
-		}
-		rep := sc.Run(*seed)
-		fmt.Printf("=== %s ===\n", sc.Name)
-		fmt.Printf("    %s\n", sc.Description)
-		for _, d := range rep.Details {
-			fmt.Printf("    • %s\n", d)
-		}
-		fmt.Printf("    verdict: %s\n\n", rep.Verdict())
-		if !rep.OK() {
-			failures++
-		}
-	}
+	failures := runScenarios(os.Stdout, scenarios, *seed, *only)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "senss-attack: %d scenario(s) deviated from the paper's prediction\n", failures)
 		os.Exit(1)
 	}
+}
+
+// runScenarios executes every selected scenario under seed, writes the
+// report to w, and returns how many deviated from the paper's
+// prediction. The output for a fixed seed is deterministic — a golden
+// test pins it.
+func runScenarios(w io.Writer, scenarios []attack.Scenario, seed uint64, only string) int {
+	failures := 0
+	for _, sc := range scenarios {
+		if only != "" && sc.Name != only {
+			continue
+		}
+		rep := sc.Run(seed)
+		fmt.Fprintf(w, "=== %s ===\n", sc.Name)
+		fmt.Fprintf(w, "    %s\n", sc.Description)
+		for _, d := range rep.Details {
+			fmt.Fprintf(w, "    • %s\n", d)
+		}
+		fmt.Fprintf(w, "    verdict: %s\n\n", rep.Verdict())
+		if !rep.OK() {
+			failures++
+		}
+	}
+	return failures
 }

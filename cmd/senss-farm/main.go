@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -267,7 +268,22 @@ func cmdStatus(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := farm.NewCache(*cacheDir)
+	return writeStatus(os.Stdout, *cacheDir, *jsonOut)
+}
+
+// statusReport is the -json document emitted by status.
+type statusReport struct {
+	CacheDir string          `json:"cache_dir"`
+	Version  string          `json:"version"`
+	Entries  int             `json:"entries"`
+	Invalid  int             `json:"invalid"`
+	Sweeps   []farm.Manifest `json:"sweeps"`
+}
+
+// writeStatus reports the cache contents and sweep manifests of cacheDir
+// to w, as text or as one JSON document.
+func writeStatus(w io.Writer, cacheDir string, jsonOut bool) error {
+	c, err := farm.NewCache(cacheDir)
 	if err != nil {
 		return err
 	}
@@ -275,28 +291,21 @@ func cmdStatus(args []string) error {
 	if err != nil {
 		return err
 	}
-	manifests, err := farm.Manifests(*cacheDir)
+	manifests, err := farm.Manifests(cacheDir)
 	if err != nil {
 		return err
 	}
-	if *jsonOut {
-		type status struct {
-			CacheDir string          `json:"cache_dir"`
-			Version  string          `json:"version"`
-			Entries  int             `json:"entries"`
-			Invalid  int             `json:"invalid"`
-			Sweeps   []farm.Manifest `json:"sweeps"`
-		}
-		out := status{CacheDir: *cacheDir, Version: farm.CacheVersion, Entries: len(hashes), Invalid: invalid}
+	if jsonOut {
+		out := statusReport{CacheDir: cacheDir, Version: farm.CacheVersion, Entries: len(hashes), Invalid: invalid}
 		for _, m := range manifests {
 			out.Sweeps = append(out.Sweeps, *m)
 		}
-		return emitJSON(out)
+		return emitJSONTo(w, out)
 	}
-	fmt.Printf("cache %s (version %s): %d valid entries, %d invalid/stale\n",
-		*cacheDir, farm.CacheVersion, len(hashes), invalid)
+	fmt.Fprintf(w, "cache %s (version %s): %d valid entries, %d invalid/stale\n",
+		cacheDir, farm.CacheVersion, len(hashes), invalid)
 	if len(manifests) == 0 {
-		fmt.Println("no sweep manifests")
+		fmt.Fprintln(w, "no sweep manifests")
 		return nil
 	}
 	for _, m := range manifests {
@@ -308,7 +317,7 @@ func cmdStatus(args []string) error {
 		if failed > 0 {
 			state = "has failures"
 		}
-		fmt.Printf("  %-16s %3d jobs: %3d done, %d failed, %d pending  (%s)\n",
+		fmt.Fprintf(w, "  %-16s %3d jobs: %3d done, %d failed, %d pending  (%s)\n",
 			m.Sweep, len(m.Jobs), done, failed, pending, state)
 	}
 	return nil
@@ -423,11 +432,13 @@ func cmdBench(args []string) error {
 	return nil
 }
 
-func emitJSON(v any) error {
+func emitJSON(v any) error { return emitJSONTo(os.Stdout, v) }
+
+func emitJSONTo(w io.Writer, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	_, err = os.Stdout.Write(append(data, '\n'))
+	_, err = w.Write(append(data, '\n'))
 	return err
 }

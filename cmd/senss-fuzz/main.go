@@ -1,0 +1,80 @@
+// Command senss-fuzz replays fuzz corpus entries against the lockstep
+// reference models outside the test binary: every checked-in seed (and
+// any crasher the fuzzer minimized into the corpus) runs through the same
+// decoders as the `go test -fuzz` targets, and the first divergence is
+// printed with its full report.
+//
+//	senss-fuzz                               # replay the whole corpus
+//	senss-fuzz -target FuzzAdversary         # one target's corpus
+//	senss-fuzz -entry path/to/corpusfile -target FuzzSchedule
+//
+// Run from the repository root (or point -corpus at the testdata/fuzz
+// directory). Exit status 1 means at least one entry diverged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"senss/internal/fuzzing"
+)
+
+func main() {
+	corpus := flag.String("corpus", "internal/fuzzing/testdata/fuzz",
+		"corpus root directory (one subdirectory per fuzz target)")
+	target := flag.String("target", "", "replay only this target (FuzzSchedule, FuzzAdversary, FuzzConfig)")
+	entry := flag.String("entry", "", "replay a single corpus file (requires -target)")
+	flag.Parse()
+
+	if *entry != "" {
+		if *target == "" {
+			fmt.Fprintln(os.Stderr, "senss-fuzz: -entry requires -target")
+			os.Exit(2)
+		}
+		data, err := fuzzing.ParseCorpusFile(*entry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senss-fuzz: %v\n", err)
+			os.Exit(2)
+		}
+		if err := fuzzing.Run(*target, data); err != nil {
+			fmt.Printf("FAIL %s %s\n  %v\n", *target, *entry, err)
+			os.Exit(1)
+		}
+		fmt.Printf("PASS %s %s\n", *target, *entry)
+		return
+	}
+
+	results, err := fuzzing.ReplayCorpus(*corpus)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "senss-fuzz: %v\n", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "senss-fuzz: no corpus entries under %s (run from the repository root?)\n", *corpus)
+		os.Exit(2)
+	}
+	failures := 0
+	for _, r := range results {
+		if *target != "" && r.Target != *target {
+			continue
+		}
+		if r.Err != nil {
+			failures++
+			fmt.Printf("FAIL %s/%s (%d ms)\n  %v\n", r.Target, r.Entry, r.WallMS, r.Err)
+		} else {
+			fmt.Printf("PASS %s/%s (%d ms)\n", r.Target, r.Entry, r.WallMS)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d corpus entr%s diverged\n", failures, plural(failures))
+		os.Exit(1)
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -1,0 +1,167 @@
+package attack
+
+// A Script is a programmable bus adversary: an ordered list of per-message
+// steps (drop, corrupt, delay/reorder, replay, spoof) applied to chosen
+// receivers at chosen sequence numbers. It generalizes the canned
+// single-purpose tamperers of this package into the form the fuzzer
+// needs — an arbitrary byte string decodes into a Script, and the
+// security property under test is a ground-truth comparison: the script
+// DEVIATED some receiver's observation stream if and only if the SENSS
+// layer must detect it.
+
+import (
+	"senss/internal/core"
+	"senss/internal/crypto/aes"
+)
+
+// Step actions.
+const (
+	// ActDrop suppresses the message for the victim (Type 1).
+	ActDrop = iota
+	// ActCorrupt flips one ciphertext bit in the victim's copy.
+	ActCorrupt
+	// ActDelay withholds the message and releases it after the victim's
+	// next observed message — a pairwise reorder (Type 2) when applied
+	// once, arbitrary reorders when chained.
+	ActDelay
+	// ActReplay captures the message on first use and appends the captured
+	// copy to a later delivery (Type 3 replay). The first matching step
+	// captures; subsequent ones inject.
+	ActReplay
+	// ActSpoof appends a forged message claiming PID Arg (Type 3 spoof;
+	// claiming the victim's own PID trips the self-snoop alarm).
+	ActSpoof
+	// ActCount bounds the action space (decoders reduce modulo it).
+	ActCount
+)
+
+// Step is one scripted manipulation: at transfer Seq, reshape what
+// receiver Victim observes. Arg parameterizes the action (bit position for
+// corrupt, claimed PID for spoof).
+type Step struct {
+	Seq    uint64
+	Action int
+	Victim int
+	Arg    int
+}
+
+// Script is a deterministic, stateful core.Tamperer executing Steps. It
+// records the original and the delivered observation stream per receiver;
+// Deviated compares them after the run, so steps that cancel out (or never
+// land) do not count as an attack.
+type Script struct {
+	Procs int
+	Steps []Step
+
+	held     [][]core.Observed // per-victim delayed messages awaiting release
+	captured []*core.Observed  // per-victim replay capture
+	want     [][]core.Observed // per-victim stream as sent
+	got      [][]core.Observed // per-victim stream as delivered
+}
+
+// NewScript creates a script adversary over nprocs receivers.
+func NewScript(nprocs int, steps []Step) *Script {
+	return &Script{
+		Procs:    nprocs,
+		Steps:    steps,
+		held:     make([][]core.Observed, nprocs),
+		captured: make([]*core.Observed, nprocs),
+		want:     make([][]core.Observed, nprocs),
+		got:      make([][]core.Observed, nprocs),
+	}
+}
+
+func cloneCipherBlocks(cipher []aes.Block) []aes.Block {
+	out := make([]aes.Block, len(cipher))
+	copy(out, cipher)
+	return out
+}
+
+// Tamper implements core.Tamperer.
+func (s *Script) Tamper(seq uint64, sender int, cipher []aes.Block) map[int][]core.Observed {
+	out := make(map[int][]core.Observed, s.Procs)
+	for pid := 0; pid < s.Procs; pid++ {
+		if pid == sender {
+			continue
+		}
+		orig := core.Observed{Cipher: cloneCipherBlocks(cipher), Sender: sender}
+		s.want[pid] = append(s.want[pid], orig)
+
+		delivery := []core.Observed{orig}
+		for _, st := range s.Steps {
+			if st.Seq != seq || st.Victim != pid {
+				continue
+			}
+			switch st.Action {
+			case ActDrop:
+				delivery = nil
+			case ActCorrupt:
+				if len(delivery) > 0 {
+					c := cloneCipherBlocks(delivery[len(delivery)-1].Cipher)
+					if len(c) > 0 {
+						bit := st.Arg % (len(c) * aes.BlockSize * 8)
+						c[bit/(aes.BlockSize*8)][(bit/8)%aes.BlockSize] ^= 1 << (bit % 8)
+					}
+					delivery[len(delivery)-1].Cipher = c
+				}
+			case ActDelay:
+				s.held[pid] = append(s.held[pid], delivery...)
+				delivery = nil
+			case ActReplay:
+				if cap := s.captured[pid]; cap != nil {
+					delivery = append(delivery, *cap)
+				} else {
+					cp := orig
+					s.captured[pid] = &cp
+				}
+			case ActSpoof:
+				forged := core.Observed{
+					Cipher: cloneCipherBlocks(cipher),
+					Sender: ((st.Arg % s.Procs) + s.Procs) % s.Procs,
+				}
+				delivery = append(delivery, forged)
+			}
+		}
+		// Release any delayed messages behind this sequence's delivery —
+		// the reorder lands as soon as the victim observes something again.
+		if len(delivery) > 0 && len(s.held[pid]) > 0 {
+			delivery = append(delivery, s.held[pid]...)
+			s.held[pid] = nil
+		}
+		s.got[pid] = append(s.got[pid], delivery...)
+		out[pid] = delivery
+	}
+	return out
+}
+
+// Deviated reports whether any receiver's delivered stream differs from
+// the stream as sent — the ground truth the detection property is checked
+// against. Messages still held at the end of the run count as dropped.
+func (s *Script) Deviated() bool {
+	for pid := 0; pid < s.Procs; pid++ {
+		if len(s.held[pid]) > 0 {
+			return true
+		}
+		if len(s.want[pid]) != len(s.got[pid]) {
+			return true
+		}
+		for i := range s.want[pid] {
+			if !observedEqual(s.want[pid][i], s.got[pid][i]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func observedEqual(a, b core.Observed) bool {
+	if a.Sender != b.Sender || len(a.Cipher) != len(b.Cipher) {
+		return false
+	}
+	for i := range a.Cipher {
+		if a.Cipher[i] != b.Cipher[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -204,6 +204,15 @@ type Bus struct {
 	memory   MemoryPort
 	hooks    []SecurityHook
 
+	// OnCommitStore, if set, observes every functional memory write made
+	// through CommitStore — the coherence-point commit of a dirty victim,
+	// which happens inside another transaction's bus tenure, before the
+	// victim's own Committed WB rides the bus. The lockstep oracle needs
+	// this signal to keep its reference memory image current: between the
+	// commit and the timing WB, other transactions may legally read the
+	// fresh memory contents.
+	OnCommitStore func(src, gid int, addr uint64, data []byte)
+
 	Stats Stats
 }
 
@@ -219,6 +228,9 @@ func (b *Bus) Timing() Timing { return b.timing }
 // the coherence point (inside an OnData callback); the evicting node then
 // issues a Committed WB transaction for the bus timing and traffic.
 func (b *Bus) CommitStore(src, gid int, addr uint64, data []byte) {
+	if b.OnCommitStore != nil {
+		b.OnCommitStore(src, gid, addr, data)
+	}
 	t := &Transaction{Kind: WB, Addr: addr, Src: src, GID: gid, Data: data}
 	b.memory.Store(t, data)
 }

@@ -74,6 +74,14 @@ type Node struct {
 
 	Stats NodeStats
 
+	// FaultSkipInvalidate plants the deliberate coherence bug used to
+	// validate the differential oracle: this node ignores the invalidation
+	// side of snooped RdX/Upgr transactions, so a stale copy survives
+	// another processor's write. The timed simulator runs on happily (the
+	// stale line serves hits locally); only a cross-cache reference check
+	// at the writing transaction can see it. Test-only.
+	FaultSkipInvalidate bool
+
 	// fillDepth guards against pathological eviction recursion through
 	// protection-layer hook accesses.
 	fillDepth int
@@ -327,10 +335,16 @@ func (n *Node) SnoopBus(t *bus.Transaction) {
 		if l2.State != cache.Shared {
 			n.supply(t, l2)
 		}
+		if n.FaultSkipInvalidate {
+			return
+		}
 		n.L2.Invalidate(t.Addr)
 		n.invalidateL1(t.Addr)
 	case bus.Upgr:
 		if n.L2.Peek(t.Addr) == nil {
+			return
+		}
+		if n.FaultSkipInvalidate {
 			return
 		}
 		// The upgrader holds valid data; every other copy dies.

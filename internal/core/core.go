@@ -159,6 +159,11 @@ type session struct {
 	mac     *cbcmac.MAC
 	alarmed bool
 
+	// reusePads is the planted one-time-pad-reuse fault: when set,
+	// advance skips the bank refresh so the same pad material encrypts
+	// every k-th transfer. Test-only, via SHU.InjectMaskReuse.
+	reusePads bool
+
 	// AuthGF mode state: the GHASH accumulator, the counter-mode base
 	// (derived from the encryption IV), and the running mask counter.
 	ghash   *gf128.GHASH
@@ -273,6 +278,18 @@ func (s *SHU) Leave(gid int) {
 	delete(s.sessions, gid)
 }
 
+// InjectMaskReuse freezes gid's mask-bank refresh on this SHU — the
+// deliberately planted crypto bug used to validate the differential
+// oracle. When every member carries the fault the system remains
+// self-consistent (identical stale banks everywhere, so decryption and
+// the MAC chains keep agreeing); the bug is visible only to an
+// independent reference pad schedule. Test-only.
+func (s *SHU) InjectMaskReuse(gid int) {
+	if ss := s.sessions[gid]; ss != nil {
+		ss.reusePads = true
+	}
+}
+
 // InGroup consults the bit matrix: does this SHU maintain gid, and is
 // proc a member?
 func (s *SHU) InGroup(gid, proc int) bool {
@@ -350,11 +367,15 @@ func (s *SHU) advance(ss *session, cipher []aes.Block, senderPID int) {
 		in := plain.XOR(pidBlock(senderPID, j))
 		if s.params.AuthMode == AuthGF {
 			ss.ghash.Update([16]byte(in))
-			bank[j] = ss.cipher.Encrypt(ss.ctrBase.XOR(aes.BlockFromUint64(0, ss.ctr)))
-			ss.ctr++
+			if !ss.reusePads {
+				bank[j] = ss.cipher.Encrypt(ss.ctrBase.XOR(aes.BlockFromUint64(0, ss.ctr)))
+				ss.ctr++
+			}
 		} else {
 			ss.mac.Update(in)
-			bank[j] = ss.cipher.Encrypt(cipher[j].XOR(pidBlock(senderPID, j)))
+			if !ss.reusePads {
+				bank[j] = ss.cipher.Encrypt(cipher[j].XOR(pidBlock(senderPID, j)))
+			}
 		}
 	}
 	ss.seq++

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"senss/internal/crypto/aes"
+	"senss/internal/rng"
+)
+
+// Metamorphic properties of the authentication chain (Eq. 1): starting
+// from a real captured wire transcript, ANY single mutation — a dropped
+// transfer, an adjacent swap, or a replayed transfer, at EVERY position —
+// must change the group MAC an observer accumulates. The companion
+// negative test pins the paper's §4.3 argument on the same transcript:
+// the masks-as-MAC strawman converges again after a swap, so only the
+// separately-IV'd chain catches a Type 2 reorder.
+
+// transcriptMsg is one secured transfer captured off the wire.
+type transcriptMsg struct {
+	sender int
+	cipher []aes.Block
+}
+
+// metamorphicParams fixes the shape shared by transcript capture and
+// every replay: two mask banks so the bank-cycling lane structure is
+// exercised, no timing.
+func metamorphicParams(mode AuthMode) Params {
+	p := DefaultParams()
+	p.AuthMode = mode
+	p.Masks = 2
+	p.Perfect = true
+	return p
+}
+
+// metamorphicSeed keys the session material; capture and replay must
+// derive identical keys and IVs from it.
+func metamorphicSeed(mode AuthMode) uint64 { return 80 + uint64(mode) }
+
+// buildTranscript runs n honest transfers alternating between senders 0
+// and 1 of a three-member group and returns the wire stream. Member 2 is
+// deliberately NOT instantiated here: variants replay the stream into a
+// fresh observer whose chain is a pure function of what it snoops.
+func buildTranscript(t *testing.T, mode AuthMode, n int) []transcriptMsg {
+	t.Helper()
+	params := metamorphicParams(mode)
+	key, encIV, authIV := testIVs(metamorphicSeed(mode))
+	shus := []*SHU{NewSHU(0, params), NewSHU(1, params)}
+	for _, s := range shus {
+		if err := s.Join(1, key, MemberMask(0, 1, 2), encIV, authIV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rng.New(81)
+	msgs := make([]transcriptMsg, 0, n)
+	for i := 0; i < n; i++ {
+		sender := i % 2
+		cipher, err := shus[sender].Encrypt(1, LineToBlocks(randomLine(r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := shus[1-sender].Observe(1, cipher, sender); err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, transcriptMsg{sender: sender, cipher: cipher})
+	}
+	return msgs
+}
+
+// observerSum replays a (possibly mutated) wire stream into a fresh
+// member 2 and returns its final chain value.
+func observerSum(t *testing.T, mode AuthMode, msgs []transcriptMsg) aes.Block {
+	t.Helper()
+	params := metamorphicParams(mode)
+	key, encIV, authIV := testIVs(metamorphicSeed(mode))
+	obs := NewSHU(2, params)
+	if err := obs.Join(1, key, MemberMask(0, 1, 2), encIV, authIV); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		if _, err := obs.Observe(1, m.cipher, m.sender); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := obs.MACSum(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+func swapAt(msgs []transcriptMsg, i int) []transcriptMsg {
+	v := append([]transcriptMsg(nil), msgs...)
+	v[i], v[i+1] = v[i+1], v[i]
+	return v
+}
+
+func TestMetamorphicDropChangesMAC(t *testing.T) {
+	for _, mode := range []AuthMode{AuthCBC, AuthGF} {
+		const n = 10
+		msgs := buildTranscript(t, mode, n)
+		honest := observerSum(t, mode, msgs)
+		for i := 0; i < n; i++ {
+			variant := append(append([]transcriptMsg(nil), msgs[:i]...), msgs[i+1:]...)
+			if observerSum(t, mode, variant) == honest {
+				t.Errorf("mode %v: dropping transfer %d left the group MAC unchanged", mode, i)
+			}
+		}
+	}
+}
+
+func TestMetamorphicSwapChangesMAC(t *testing.T) {
+	for _, mode := range []AuthMode{AuthCBC, AuthGF} {
+		const n = 10
+		msgs := buildTranscript(t, mode, n)
+		honest := observerSum(t, mode, msgs)
+		for i := 0; i+1 < n; i++ {
+			if observerSum(t, mode, swapAt(msgs, i)) == honest {
+				t.Errorf("mode %v: swapping transfers %d and %d left the group MAC unchanged", mode, i, i+1)
+			}
+		}
+	}
+}
+
+func TestMetamorphicReplayChangesMAC(t *testing.T) {
+	for _, mode := range []AuthMode{AuthCBC, AuthGF} {
+		const n = 10
+		msgs := buildTranscript(t, mode, n)
+		honest := observerSum(t, mode, msgs)
+		for i := 0; i < n; i++ {
+			variant := make([]transcriptMsg, 0, n+1)
+			variant = append(variant, msgs[:i+1]...)
+			variant = append(variant, msgs[i])
+			variant = append(variant, msgs[i+1:]...)
+			if observerSum(t, mode, variant) == honest {
+				t.Errorf("mode %v: replaying transfer %d left the group MAC unchanged", mode, i)
+			}
+		}
+	}
+}
+
+// TestMetamorphicNaiveMaskChainMissesReorder pins the paper's §4.3
+// negative result against a real transcript: for every adjacent swap
+// that leaves at least one common trailing message, the masks-as-MAC
+// strawman re-converges to the honest evidence (the attack is invisible
+// to a later checkpoint), while the real chained MAC over the same two
+// streams stays different. This is exactly why SENSS chains a separate
+// MAC under its own IV instead of reusing the encryption masks.
+func TestMetamorphicNaiveMaskChainMissesReorder(t *testing.T) {
+	const n = 10
+	msgs := buildTranscript(t, AuthCBC, n)
+	honest := observerSum(t, AuthCBC, msgs)
+	key, iv, _ := testIVs(metamorphicSeed(AuthCBC))
+	feed := func(m *MaskChainAuth, stream []transcriptMsg) {
+		for _, msg := range stream {
+			for _, c := range msg.cipher {
+				m.ObserveCipher(c)
+			}
+		}
+	}
+	for i := 0; i+2 < n; i++ {
+		variant := swapAt(msgs, i)
+		ref, vic := NewMaskChainAuth(key, iv), NewMaskChainAuth(key, iv)
+		feed(ref, msgs)
+		feed(vic, variant)
+		if ref.Evidence() != vic.Evidence() {
+			t.Errorf("strawman kept diverging after swap at %d; its chain should depend only on the last ciphertext", i)
+		}
+		if observerSum(t, AuthCBC, variant) == honest {
+			t.Errorf("real chain missed the swap at %d", i)
+		}
+	}
+}

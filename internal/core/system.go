@@ -25,6 +25,24 @@ type Tamperer interface {
 	Tamper(seq uint64, sender int, cipher []aes.Block) map[int][]Observed
 }
 
+// Observer receives the protocol-level truth of the SENSS layer as it
+// happens: session establishment parameters, every transfer's pre-tamper
+// plaintext and on-the-wire ciphertext, and every authentication tag. The
+// differential oracle implements it to run an untimed reference model in
+// lockstep with the timed datapath. Observers must not mutate their
+// arguments and must charge no simulated time.
+type Observer interface {
+	// OnEstablish fires once per Establish, before any transfer.
+	OnEstablish(gid int, key aes.Block, members uint32, encIV, authIV aes.Block)
+	// OnTransfer fires once per cache-to-cache transfer with the sender's
+	// sequence number, the plaintext the sender encrypted, and the
+	// ciphertext as it left the sender (before any interposer tampering).
+	OnTransfer(gid, sender int, seq uint64, plain, wire []aes.Block)
+	// OnAuth fires once per authentication broadcast with the initiator's
+	// transmitted tag.
+	OnAuth(gid, initiator int, tag []byte)
+}
+
 // SystemStats counts SENSS activity.
 type SystemStats struct {
 	Messages      uint64 // protected cache-to-cache transfers
@@ -62,6 +80,7 @@ type System struct {
 	shus    []*SHU
 	timing  map[int]*groupTiming
 	tamper  Tamperer
+	observe Observer
 	halting bool // halt the engine on detection (true in the machine)
 
 	Stats SystemStats
@@ -93,6 +112,23 @@ func (s *System) SHU(pid int) *SHU { return s.shus[pid] }
 // SetTamperer installs (or clears) the bus adversary.
 func (s *System) SetTamperer(t Tamperer) { s.tamper = t }
 
+// SetObserver installs (or clears) the lockstep observer. Install it
+// before Establish so the observer sees the session parameters.
+func (s *System) SetObserver(o Observer) { s.observe = o }
+
+// InjectMaskReuse plants the deliberate crypto bug the differential
+// oracle exists to catch: every member SHU of gid stops refreshing its
+// mask banks, so the one-time pad repeats with period k·BlocksPerLine
+// blocks. The system stays perfectly self-consistent — all members reuse
+// the same stale banks, decryption still recovers the plaintext, and the
+// MAC chains never disagree — which is exactly why internal agreement
+// checks cannot see it and only an independent reference model can.
+func (s *System) InjectMaskReuse(gid int) {
+	for _, shu := range s.shus {
+		shu.InjectMaskReuse(gid)
+	}
+}
+
 // Establish installs a group session on every member SHU and initializes
 // the group's mask-availability schedule. It is the low-level counterpart
 // of the Dispatcher (which performs the full RSA key-wrap handshake).
@@ -108,6 +144,9 @@ func (s *System) Establish(gid int, key aes.Block, members uint32, encIV, authIV
 	s.timing[gid] = &groupTiming{
 		availAt:  make([]uint64, s.params.Masks),
 		interval: s.params.AuthInterval,
+	}
+	if s.observe != nil {
+		s.observe.OnEstablish(gid, key, members, encIV, authIV)
 	}
 	return nil
 }
@@ -166,6 +205,9 @@ func (s *System) OnTransaction(p *sim.Proc, t *bus.Transaction) uint64 {
 		return extra
 	}
 	s.Stats.Messages++
+	if s.observe != nil {
+		s.observe.OnTransfer(t.GID, sender, s.shus[sender].Seq(t.GID)-1, plain, cipher)
+	}
 
 	// Schedule this bank's refresh completion.
 	if s.params.Masks > 0 && p != nil {
@@ -282,6 +324,9 @@ func (s *System) authenticate(gid int, members uint32, gt *groupTiming) uint64 {
 	if err != nil {
 		s.detect(err.Error())
 		return occ
+	}
+	if s.observe != nil {
+		s.observe.OnAuth(gid, initiator, ref)
 	}
 	for _, pid := range list {
 		if pid == initiator || pid >= len(s.shus) {

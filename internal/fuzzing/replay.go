@@ -1,0 +1,108 @@
+package fuzzing
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Targets lists the fuzz targets in their canonical order — the corpus
+// directory names under testdata/fuzz/.
+func Targets() []string {
+	return []string{"FuzzSchedule", "FuzzAdversary", "FuzzConfig"}
+}
+
+// Run dispatches one input to the named target's runner.
+func Run(target string, data []byte) error {
+	switch target {
+	case "FuzzSchedule":
+		return RunSchedule(data)
+	case "FuzzAdversary":
+		return RunAdversary(data)
+	case "FuzzConfig":
+		return RunConfig(data)
+	}
+	return fmt.Errorf("fuzzing: unknown target %q (want one of %v)", target, Targets())
+}
+
+// ParseCorpusFile reads a native Go fuzz corpus entry ("go test fuzz v1"
+// header followed by one []byte literal) and returns the input bytes.
+func ParseCorpusFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(raw), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return nil, fmt.Errorf("%s: not a go fuzz corpus file", path)
+	}
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		inner, ok := strings.CutPrefix(line, "[]byte(")
+		if !ok {
+			return nil, fmt.Errorf("%s: unsupported corpus value %q (only []byte entries)", path, line)
+		}
+		inner = strings.TrimSuffix(inner, ")")
+		s, err := strconv.Unquote(inner)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return []byte(s), nil
+	}
+	return nil, fmt.Errorf("%s: no corpus value found", path)
+}
+
+// ReplayResult is the outcome of replaying one corpus entry.
+type ReplayResult struct {
+	Target string
+	Entry  string // file name within the target's corpus directory
+	Err    error  // nil = both models agree
+	WallMS int64  // host-side wall time of the replay
+}
+
+// ReplayCorpus replays every checked-in corpus entry under root (the
+// testdata/fuzz directory), in sorted order per target, and returns one
+// result per entry. Missing target directories are skipped silently so a
+// partial corpus still replays.
+func ReplayCorpus(root string) ([]ReplayResult, error) {
+	var out []ReplayResult
+	for _, target := range Targets() {
+		dir := filepath.Join(root, target)
+		entries, err := os.ReadDir(dir)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			data, err := ParseCorpusFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				out = append(out, ReplayResult{Target: target, Entry: e.Name(), Err: err})
+				continue
+			}
+			// Wall time is host-side progress reporting for the replay
+			// driver; the replay itself is a pure function of the bytes.
+			start := time.Now() //senss-lint:ignore nondeterm replay timing is operator-facing and never feeds simulated state
+			runErr := Run(target, data)
+			out = append(out, ReplayResult{
+				Target: target,
+				Entry:  e.Name(),
+				Err:    runErr,
+				WallMS: time.Since(start).Milliseconds(),
+			})
+		}
+	}
+	return out, nil
+}

@@ -16,6 +16,7 @@ import (
 	"senss/internal/integrity"
 	"senss/internal/mem"
 	"senss/internal/memsec"
+	"senss/internal/oracle"
 	"senss/internal/rng"
 	"senss/internal/sim"
 	"senss/internal/stats"
@@ -100,6 +101,14 @@ type Config struct {
 	// TraceLimit, when non-zero, records up to that many bus transactions
 	// into Machine.Trace for offline analysis (cost-free observation).
 	TraceLimit int
+
+	// Oracle runs the untimed lockstep reference models (internal/oracle)
+	// against every bus transaction and SENSS transfer, halting on the
+	// first divergence. The checker charges zero cycles, so cycle counts
+	// are identical with it on or off. OracleWindow sizes the replay-trace
+	// event ring (0 = default).
+	Oracle       bool
+	OracleWindow int
 }
 
 // DefaultConfig returns the paper's Figure 5 parameters with 4 processors,
@@ -178,6 +187,7 @@ type Machine struct {
 	Tree   *integrity.Tree
 	Groups *core.GroupTable
 	Trace  *trace.Recorder // non-nil when Config.TraceLimit > 0
+	Oracle *oracle.Checker // non-nil when Config.Oracle is set
 	GID    int
 
 	// SwapCount counts §4.2 group context switches (RunTimeShared).
@@ -236,6 +246,27 @@ func New(cfg Config) *Machine {
 		} else {
 			m.Senss = core.NewSystem(m.Engine, m.Bus, cfg.Procs, cfg.Security.Senss, true)
 		}
+	}
+	if cfg.Oracle {
+		// The checker rides the hook chain after the SENSS layer (so it
+		// sees the requester's decrypted payload) and before jitter/trace.
+		m.Oracle = oracle.New(oracle.Options{
+			Procs:  cfg.Procs,
+			Window: cfg.OracleWindow,
+			Senss:  cfg.Security.Senss,
+		})
+		m.Oracle.SetEngine(m.Engine)
+		m.Oracle.SetNodes(m.Nodes)
+		m.Oracle.SetMeta(cfg.Seed, fmt.Sprintf(
+			"procs=%d l2=%d line=%d security=%s masks=%d interval=%d",
+			cfg.Procs, cfg.Coherence.L2Size, cfg.Coherence.L2Line,
+			cfg.Security.Mode, cfg.Security.Senss.Masks, cfg.Security.Senss.AuthInterval))
+		if m.Senss != nil {
+			m.Senss.SetObserver(m.Oracle)
+			m.Oracle.SetAlarm(m.Senss.Detected)
+		}
+		m.Bus.AttachHook(m.Oracle)
+		m.Bus.OnCommitStore = m.Oracle.OnCommitStore
 	}
 	if cfg.PerturbMax > 0 {
 		m.Bus.AttachHook(&jitterHook{r: rng.New(cfg.PerturbSeed), max: cfg.PerturbMax})

@@ -1,0 +1,147 @@
+package oracle
+
+import (
+	"senss/internal/core"
+	"senss/internal/crypto/aes"
+	"senss/internal/crypto/gf128"
+)
+
+// groupRef is the untimed crypto reference for one group: a straight-line
+// recomputation of the SENSS pad schedule and transcript MAC from the
+// session parameters alone. It is deliberately independent of the SHU
+// implementation — a single "sender truth" per group that every honest
+// member must equal, which is what lets it catch faults the members'
+// mutual agreement can never see (all members reusing a stale pad still
+// agree with each other, but not with the schedule).
+type groupRef struct {
+	cipher   *aes.Cipher
+	gf       bool
+	banks    [][]aes.Block
+	seq      uint64
+	chain    aes.Block // Eq. 1 transcript CBC-MAC state (AuthCBC)
+	ghash    *gf128.GHASH
+	ctrBase  aes.Block
+	ctr      uint64
+	tagBytes int
+}
+
+// OnEstablish implements core.Observer: derive the reference pad schedule
+// and chain state exactly as the spec (paper §4.3, Table 1) prescribes.
+func (c *Checker) OnEstablish(gid int, key aes.Block, members uint32, encIV, authIV aes.Block) {
+	p := c.opt.Senss
+	k := p.Masks
+	if k <= 0 {
+		k = 1
+	}
+	tb := p.MACTagBytes
+	if tb <= 0 || tb > aes.BlockSize {
+		tb = aes.BlockSize
+	}
+	ref := &groupRef{
+		cipher:   aes.NewFromBlock(key),
+		gf:       p.AuthMode == core.AuthGF,
+		tagBytes: tb,
+	}
+	ref.banks = make([][]aes.Block, k)
+	if ref.gf {
+		ref.ctrBase = encIV
+		for i := range ref.banks {
+			ref.banks[i] = make([]aes.Block, core.BlocksPerLine)
+			for j := range ref.banks[i] {
+				ref.banks[i][j] = ref.cipher.Encrypt(ref.ctrBase.XOR(aes.BlockFromUint64(0, ref.ctr)))
+				ref.ctr++
+			}
+		}
+		h := ref.cipher.Encrypt(authIV)
+		ref.ghash = gf128.NewGHASH([16]byte(h))
+	} else {
+		for i := range ref.banks {
+			ref.banks[i] = make([]aes.Block, core.BlocksPerLine)
+			for j := range ref.banks[i] {
+				ref.banks[i][j] = ref.cipher.Encrypt(encIV.XOR(aes.BlockFromUint64(uint64(i), uint64(j))))
+			}
+		}
+		ref.chain = authIV
+	}
+	c.groups[gid] = ref
+}
+
+// pidInput is the (plaintext ⊕ originator-PID) block of Eq. 1 / Figure 2.
+func pidInput(plain aes.Block, sender, j int) aes.Block {
+	return plain.XOR(aes.BlockFromUint64(uint64(sender), uint64(j)))
+}
+
+// OnTransfer implements core.Observer: check the on-the-wire ciphertext
+// against the reference one-time-pad schedule, advance the reference
+// chains, and stash the plaintext for the bus-level payload check.
+func (c *Checker) OnTransfer(gid, sender int, seq uint64, plain, wire []aes.Block) {
+	if c.report != nil {
+		return
+	}
+	ref := c.groups[gid]
+	if ref == nil {
+		c.fail("group %d transfer before any establishment the oracle observed", gid)
+		return
+	}
+	if seq != ref.seq {
+		c.fail("group %d transfer sequence diverges: simulator at %d, reference at %d",
+			gid, seq, ref.seq)
+		return
+	}
+	bank := ref.banks[seq%uint64(len(ref.banks))]
+	for j := range wire {
+		if wire[j] != plain[j].XOR(bank[j]) {
+			c.fail("group %d transfer %d from processor %d: ciphertext block %d diverges from the reference one-time-pad schedule",
+				gid, seq, sender, j)
+			return
+		}
+	}
+	// Advance the reference exactly as every honest member does (Table 1):
+	// fold (plain ⊕ PID) into the transcript chain and refresh the bank.
+	for j := range wire {
+		in := pidInput(plain[j], sender, j)
+		if ref.gf {
+			ref.ghash.Update([16]byte(in))
+			bank[j] = ref.cipher.Encrypt(ref.ctrBase.XOR(aes.BlockFromUint64(0, ref.ctr)))
+			ref.ctr++
+		} else {
+			ref.chain = ref.cipher.Encrypt(ref.chain.XOR(in))
+			bank[j] = ref.cipher.Encrypt(wire[j].XOR(aes.BlockFromUint64(uint64(sender), uint64(j))))
+		}
+	}
+	ref.seq++
+	c.pendingGID = gid
+	c.pendingPlain = c.pendingPlain[:0]
+	for _, b := range plain {
+		c.pendingPlain = append(c.pendingPlain, [16]byte(b))
+	}
+	c.pendingSet = true
+}
+
+// OnAuth implements core.Observer: the initiator's broadcast tag must be a
+// prefix of the reference transcript MAC. Suppressed once the system has
+// raised its own alarm — a genuine detection already explains the skew.
+func (c *Checker) OnAuth(gid, initiator int, tag []byte) {
+	if c.report != nil || c.alarmRaised() {
+		return
+	}
+	ref := c.groups[gid]
+	if ref == nil {
+		c.fail("group %d authentication before any establishment the oracle observed", gid)
+		return
+	}
+	var sum aes.Block
+	if ref.gf {
+		sum = aes.Block(ref.ghash.Sum())
+	} else {
+		sum = ref.chain
+	}
+	n := len(tag)
+	if n > len(sum) {
+		n = len(sum)
+	}
+	if !bytesEqual(tag[:n], sum[:n]) {
+		c.fail("group %d authentication tag from processor %d diverges from the reference transcript MAC",
+			gid, initiator)
+	}
+}

@@ -1,0 +1,174 @@
+package oracle_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"senss/internal/cpu"
+	"senss/internal/machine"
+	"senss/internal/oracle"
+)
+
+// testConfig is a small secured machine: 4 processors sharing one SENSS
+// group, sized so the mixed workload exercises c2c transfers, upgrades,
+// and dirty evictions in well under a second.
+func testConfig(seed uint64) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Procs = 4
+	cfg.Coherence.L1Size = 4 << 10
+	cfg.Coherence.L2Size = 64 << 10
+	cfg.CPU.CodeBytes = 2 << 10
+	cfg.Security.Mode = machine.SecurityBus
+	cfg.Security.Senss.Masks = 2
+	cfg.Security.Senss.AuthInterval = 10
+	cfg.Seed = seed
+	cfg.Oracle = true
+	return cfg
+}
+
+// mixedWorkload returns one program per processor: a ping-pong phase over
+// eight shared lines (BusRd/BusRdX/BusUpgr, cache-to-cache supplies, MAC
+// traffic) followed by a private sweep wide enough to overflow the L2 and
+// force dirty evictions (CommitStore + Committed WB).
+func mixedWorkload(m *machine.Machine, procs, iters, sweepLines int) []cpu.Program {
+	shared := m.Alloc(8 * 64)
+	sweep := m.Alloc(uint64(procs*sweepLines) * 64)
+	for i := 0; i < 8; i++ {
+		m.InitWord(shared+uint64(i)*64, uint64(i))
+	}
+	progs := make([]cpu.Program, procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		progs[i] = func(c *cpu.Port) {
+			for n := 0; n < iters; n++ {
+				addr := shared + uint64((n+i)%8)*64
+				if n%3 == 0 {
+					c.Store(addr, uint64(n)) // write-allocate: BusRdX or BusUpgr
+				} else {
+					v := c.Load(addr)
+					c.Store(addr, v+1)
+				}
+			}
+			for n := 0; n < sweepLines; n++ {
+				addr := sweep + uint64(i*sweepLines+n)*64
+				c.Store(addr, uint64(n))
+				_ = c.Load(addr)
+			}
+		}
+	}
+	return progs
+}
+
+// TestOracleCleanAndZeroCost proves two contracts at once: a healthy
+// machine never diverges from the reference models, and the checker is
+// timing-invisible (identical cycle counts with it on and off).
+func TestOracleCleanAndZeroCost(t *testing.T) {
+	cycles := make(map[bool]uint64)
+	for _, on := range []bool{false, true} {
+		cfg := testConfig(1)
+		cfg.Oracle = on
+		m := machine.New(cfg)
+		run, err := m.Run(mixedWorkload(m, cfg.Procs, 40, 1200))
+		if err != nil {
+			t.Fatalf("oracle=%v: %v", on, err)
+		}
+		if halted, why := m.Halted(); halted {
+			t.Fatalf("oracle=%v: halted: %s", on, why)
+		}
+		cycles[on] = run.Cycles
+		if on {
+			if m.Oracle.Diverged() {
+				t.Fatalf("clean run diverged: %s", m.Oracle.Report().Divergence)
+			}
+			if m.Oracle.Checked() == 0 {
+				t.Fatal("oracle observed no transactions")
+			}
+		}
+	}
+	if cycles[false] != cycles[true] {
+		t.Fatalf("oracle perturbed timing: %d cycles off, %d on", cycles[false], cycles[true])
+	}
+}
+
+// faultedReport runs the mixed workload with fault applied after
+// construction and returns the oracle's JSON report. The run must halt
+// with an oracle divergence.
+func faultedReport(t *testing.T, seed uint64, fault func(m *machine.Machine)) string {
+	t.Helper()
+	cfg := testConfig(seed)
+	m := machine.New(cfg)
+	progs := mixedWorkload(m, cfg.Procs, 40, 300)
+	m.Load()
+	fault(m)
+	if _, err := m.Run(progs); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	halted, why := m.Halted()
+	if !halted || !strings.HasPrefix(why, "oracle: ") {
+		t.Fatalf("expected an oracle halt, got halted=%v %q", halted, why)
+	}
+	if !m.Oracle.Diverged() {
+		t.Fatal("halted without a divergence report")
+	}
+	if m.Senss.Detected() {
+		t.Fatal("SENSS's own checks flagged the planted fault — the differential oracle is not needed for it")
+	}
+	var buf bytes.Buffer
+	if err := m.Oracle.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.String()
+}
+
+// TestOracleCatchesSkippedInvalidation plants the deliberate coherence
+// bug — node 1 ignores RdX/Upgr invalidations — and demonstrates that the
+// oracle catches it at the first faulty transaction with a replayable
+// trace: rerunning the identical seed and config reproduces the report
+// byte for byte.
+func TestOracleCatchesSkippedInvalidation(t *testing.T) {
+	fault := func(m *machine.Machine) { m.Nodes[1].FaultSkipInvalidate = true }
+	first := faultedReport(t, 1, fault)
+
+	var r oracle.Report
+	if err := json.Unmarshal([]byte(first), &r); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !strings.Contains(r.Divergence, "retains a") {
+		t.Errorf("divergence %q does not name the stale copy", r.Divergence)
+	}
+	if len(r.Events) == 0 {
+		t.Error("report carries no replay trace")
+	}
+	if r.Seed != 1 || r.Config == "" {
+		t.Errorf("report lacks reproduction coordinates: seed=%d config=%q", r.Seed, r.Config)
+	}
+
+	if second := faultedReport(t, 1, fault); second != first {
+		t.Errorf("report is not replayable:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}
+
+// TestOracleCatchesMaskReuse plants the deliberate crypto bug — every SHU
+// freezes its mask-bank refresh, so the one-time pad repeats — and
+// demonstrates the central point of the differential design: the system's
+// own checks stay silent (all members reuse identically, so decryption
+// and the MAC chain keep agreeing) while the independent pad schedule
+// catches the reuse, again with a byte-identical replayable report.
+func TestOracleCatchesMaskReuse(t *testing.T) {
+	fault := func(m *machine.Machine) { m.Senss.InjectMaskReuse(m.GID) }
+	first := faultedReport(t, 1, fault)
+
+	var r oracle.Report
+	if err := json.Unmarshal([]byte(first), &r); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !strings.Contains(r.Divergence, "one-time-pad schedule") {
+		t.Errorf("divergence %q does not name the pad schedule", r.Divergence)
+	}
+
+	if second := faultedReport(t, 1, fault); second != first {
+		t.Errorf("report is not replayable:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}

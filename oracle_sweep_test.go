@@ -1,0 +1,55 @@
+package senss
+
+import (
+	"testing"
+
+	"senss/internal/machine"
+	"senss/internal/workload"
+)
+
+// TestOracleSweepClean runs every workload of the Figure 6 sweep at test
+// size with the lockstep differential oracle attached, in both the
+// unprotected baseline and the SENSS configuration. The timed simulator
+// must agree with the untimed reference models on every bus transaction,
+// every decrypted payload, and every authentication tag.
+func TestOracleSweepClean(t *testing.T) {
+	modes := []machine.SecurityMode{machine.SecurityOff, machine.SecurityBus}
+	for _, name := range PaperSuite() {
+		for _, mode := range modes {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Procs = 4
+				cfg.Coherence.L1Size = 4 << 10
+				cfg.Coherence.L2Size = 64 << 10
+				cfg.CPU.CodeBytes = 2 << 10
+				cfg.Security.Mode = mode
+				cfg.Security.Senss.Perfect = true
+				cfg.Security.Senss.AuthInterval = 100
+				cfg.Oracle = true
+
+				w, err := workload.New(name, SizeTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := machine.New(cfg)
+				progs := w.Setup(m, cfg.Procs)
+				if _, err := m.Run(progs); err != nil {
+					t.Fatal(err)
+				}
+				if halted, why := m.Halted(); halted {
+					t.Fatalf("halted: %s", why)
+				}
+				if m.Oracle.Diverged() {
+					t.Fatalf("oracle diverged: %s", m.Oracle.Report().Divergence)
+				}
+				if m.Oracle.Checked() == 0 {
+					t.Fatal("oracle observed no transactions")
+				}
+				if err := w.Validate(m); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

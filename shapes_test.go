@@ -5,6 +5,7 @@ package senss
 // full-sweep numbers; these tests keep the *orderings* from regressing.
 
 import (
+	"os"
 	"testing"
 
 	"senss/internal/core"
@@ -18,6 +19,14 @@ func shapeConfig() Config {
 	cfg.Coherence.L1Size = 4 << 10
 	cfg.Coherence.L2Size = 64 << 10
 	cfg.CPU.CodeBytes = 2 << 10
+	// SENSS_ORACLE=1 runs every shape test in lockstep with the
+	// differential oracle (internal/oracle). The oracle charges zero bus
+	// cycles, so the pinned orderings are unaffected; a divergence halts
+	// the machine, which driver.Run turns into the error shapeRun fatals
+	// on. `make oracle` sets the guard.
+	if os.Getenv("SENSS_ORACLE") != "" {
+		cfg.Oracle = true
+	}
 	return cfg
 }
 
