@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race farm-race oracle fuzz-smoke figures verify clean
+.PHONY: all build test vet lint taintflow race farm-race oracle fuzz-smoke figures verify clean
 
 all: verify
 
@@ -15,6 +15,12 @@ vet:
 
 lint: build
 	$(GO) run ./cmd/senss-lint ./...
+
+# taintflow runs only the interprocedural secret-taint analyzer (the most
+# expensive rule) with vet-style exit codes: 0 clean, 1 findings. The
+# full `lint` target (and thus `verify`) already includes it.
+taintflow: build
+	$(GO) run ./cmd/senss-lint -analyzer taintflow ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"senss/internal/lint"
+)
+
+// lintEnvelope mirrors cmd/senss-lint's -json schema so a cached verdict
+// and a fresh run are byte-interchangeable.
+type lintEnvelope struct {
+	Schema      string            `json:"schema"`
+	ContentHash string            `json:"content_hash"`
+	Analyzers   []string          `json:"analyzers"`
+	Findings    []lint.Diagnostic `json:"findings"`
+}
+
+// cmdLint runs the senss-lint analyzer suite through the farm's
+// content-addressed cache: the verdict is stored under the run's content
+// hash (analyzer set + every source file), so an unchanged tree never
+// re-analyzes — the same contract experiment results get from the sweep
+// cache. Exit is vet-style: error (status 1) when findings exist, whether
+// fresh or cached.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("senss-farm lint", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", ".senss-cache", "cache directory")
+	jsonOut := fs.Bool("json", false, "emit the JSON envelope instead of text findings")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		return err
+	}
+	analyzers := lint.Registry()
+	var names []string
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	hash, err := lint.ContentHash(names, pkgs)
+	if err != nil {
+		return err
+	}
+
+	path := filepath.Join(*cacheDir, "lint", strings.ReplaceAll(hash, ":", "-")+".json")
+	env, cached := readLintEntry(path, hash)
+	if !cached {
+		diags := lint.RunAnalyzers(analyzers, pkgs)
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		for i := range diags {
+			if rel, rerr := filepath.Rel(root, diags[i].Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].Pos.Filename = rel
+			}
+		}
+		env = lintEnvelope{Schema: "senss-lint/1", ContentHash: hash, Analyzers: names, Findings: diags}
+		if err := writeLintEntry(path, env); err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(env); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range env.Findings {
+			fmt.Println(d)
+		}
+		state := "analyzed"
+		if cached {
+			state = "cached"
+		}
+		fmt.Printf("senss-farm lint: %s, %d finding(s), %s\n", state, len(env.Findings), hash)
+	}
+	if len(env.Findings) > 0 {
+		return fmt.Errorf("%d lint finding(s)", len(env.Findings))
+	}
+	return nil
+}
+
+// readLintEntry loads a cached verdict, rejecting anything that does not
+// match the expected hash and schema (corrupt or stale entries are
+// recomputed, never trusted — the same policy as the experiment cache).
+func readLintEntry(path, wantHash string) (lintEnvelope, bool) {
+	var env lintEnvelope
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return env, false
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return lintEnvelope{}, false
+	}
+	if env.Schema != "senss-lint/1" || env.ContentHash != wantHash {
+		return lintEnvelope{}, false
+	}
+	return env, true
+}
+
+// writeLintEntry persists the verdict atomically (temp file + rename).
+func writeLintEntry(path string, env lintEnvelope) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".lint-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

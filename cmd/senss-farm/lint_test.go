@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"senss/internal/lint"
+)
+
+// TestLintEntryRoundTrip pins the verdict cache contract: a written entry
+// reads back only under its own hash, and corrupt or mismatched entries
+// are rejected (recomputed, never trusted).
+func TestLintEntryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint", "sha256-abc.json")
+
+	env := lintEnvelope{
+		Schema:      "senss-lint/1",
+		ContentHash: "sha256:abc",
+		Analyzers:   []string{"taintflow"},
+		Findings:    []lint.Diagnostic{},
+	}
+	if err := writeLintEntry(path, env); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := readLintEntry(path, "sha256:abc")
+	if !ok {
+		t.Fatal("fresh entry not readable")
+	}
+	if got.ContentHash != env.ContentHash || len(got.Analyzers) != 1 || got.Analyzers[0] != "taintflow" {
+		t.Errorf("round trip mangled the envelope: %+v", got)
+	}
+
+	if _, ok := readLintEntry(path, "sha256:other"); ok {
+		t.Error("entry accepted under a different content hash")
+	}
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := readLintEntry(path, "sha256:abc"); ok {
+		t.Error("corrupt entry accepted")
+	}
+	if _, ok := readLintEntry(filepath.Join(dir, "missing.json"), "sha256:abc"); ok {
+		t.Error("missing entry accepted")
+	}
+}

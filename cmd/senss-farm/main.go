@@ -11,6 +11,12 @@
 //	senss-farm status -cache-dir .senss-cache -json
 //	senss-farm gc     -cache-dir .senss-cache [-all]
 //	senss-farm bench  -out BENCH_farm.json
+//	senss-farm lint   -cache-dir .senss-cache [-json]
+//
+// "lint" runs the senss-lint suite through the same content-addressed
+// cache as experiments: the verdict is stored under a hash of the
+// analyzer set and every source file, so an unchanged tree is never
+// re-analyzed.
 //
 // Interrupted sweeps are resumable: every completed job is cached and
 // recorded in the sweep manifest, so re-running the same command picks
@@ -48,6 +54,8 @@ func main() {
 		err = cmdGC(args)
 	case "bench":
 		err = cmdBench(args)
+	case "lint":
+		err = cmdLint(args)
 	case "help", "-h", "-help", "--help":
 		usage(os.Stdout)
 	default:
@@ -64,7 +72,7 @@ func main() {
 func usage(w *os.File) {
 	fmt.Fprint(w, `senss-farm — parallel experiment orchestration with result caching
 
-usage: senss-farm <run|warm|status|gc|bench> [flags]
+usage: senss-farm <run|warm|status|gc|bench|lint> [flags]
 
   run     execute figure sweeps and print their tables
   warm    execute figure sweeps, populating the cache only
@@ -72,6 +80,8 @@ usage: senss-farm <run|warm|status|gc|bench> [flags]
   gc      remove stale/corrupt cache entries (-all wipes everything)
   bench   measure cold serial vs parallel wall-clock for the Figure 6
           sweep and write the BENCH_farm.json trajectory point
+  lint    run the senss-lint suite content-addressed: verdicts cache
+          under a hash of the analyzer set + all sources
 
 common flags: -fig, -size, -workers, -cache-dir, -json (see <sub> -h)
 `)

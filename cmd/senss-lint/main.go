@@ -5,11 +5,22 @@
 //
 // Usage:
 //
-//	senss-lint [-json] [-skip prefix[,prefix...]] [-list] [patterns]
+//	senss-lint [-json] [-analyzer name[,name...]] [-skip prefix[,prefix...]] [-list] [patterns]
 //
 // Patterns are module-relative package paths; "./..." (the default) means
 // every package, "./internal/bus" one package, "./internal/..." a subtree.
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// -analyzer restricts the run to the named analyzers (e.g. "taintflow");
+// naming an unknown analyzer is a usage error. Exit status: 0 clean, 1
+// findings, 2 usage or load failure.
+//
+// With -json the driver emits a stable envelope,
+//
+//	{"schema": "senss-lint/1", "content_hash": "sha256:...",
+//	 "analyzers": [...], "findings": [...]}
+//
+// whose content_hash digests the analyzer set and every source file, so a
+// caching layer (internal/farm) can treat lint runs as content-addressed
+// artifacts: same hash, same findings.
 //
 // Deliberate exceptions are waived in source with
 //
@@ -29,8 +40,17 @@ import (
 	"senss/internal/lint"
 )
 
+// envelope is the -json output schema.
+type envelope struct {
+	Schema      string            `json:"schema"`
+	ContentHash string            `json:"content_hash"`
+	Analyzers   []string          `json:"analyzers"`
+	Findings    []lint.Diagnostic `json:"findings"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit a JSON envelope with findings and a content hash")
+	analyzer := flag.String("analyzer", "", "comma-separated analyzer names to run (default: all)")
 	skip := flag.String("skip", "", "comma-separated module-relative path prefixes to skip")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
@@ -41,6 +61,29 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *analyzer != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*analyzer, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "senss-lint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+		if len(analyzers) == 0 {
+			fmt.Fprintln(os.Stderr, "senss-lint: -analyzer names no analyzers")
+			os.Exit(2)
+		}
 	}
 
 	root, err := findModuleRoot()
@@ -82,9 +125,25 @@ func main() {
 
 	diags := lint.RunAnalyzers(analyzers, selected)
 	if *jsonOut {
+		var names []string
+		for _, a := range analyzers {
+			names = append(names, a.Name)
+		}
+		hash, err := lint.ContentHash(names, selected)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "senss-lint:", err)
+			os.Exit(2)
+		}
+		for i := range diags {
+			diags[i].Pos.Filename = relToRoot(root, diags[i].Pos.Filename)
+		}
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		env := envelope{Schema: "senss-lint/1", ContentHash: hash, Analyzers: names, Findings: diags}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(env); err != nil {
 			fmt.Fprintln(os.Stderr, "senss-lint:", err)
 			os.Exit(2)
 		}

@@ -152,8 +152,9 @@ func (p Params) sanitize() Params {
 
 // session is one group's entry in a processor's group information table.
 type session struct {
-	gid     int
-	cipher  *aes.Cipher
+	gid    int
+	cipher *aes.Cipher
+	//senss-lint:secret
 	banks   [][]aes.Block // [k][BlocksPerLine] mask material
 	seq     uint64        // this member's view of the group message count
 	mac     *cbcmac.MAC
@@ -166,7 +167,8 @@ type session struct {
 
 	// AuthGF mode state: the GHASH accumulator, the counter-mode base
 	// (derived from the encryption IV), and the running mask counter.
-	ghash   *gf128.GHASH
+	ghash *gf128.GHASH
+	//senss-lint:secret
 	ctrBase aes.Block
 	ctr     uint64
 }

@@ -5,6 +5,7 @@ import (
 
 	"senss/internal/crypto/aes"
 	"senss/internal/crypto/cbcmac"
+	"senss/internal/crypto/ct"
 	"senss/internal/crypto/rsa"
 	"senss/internal/rng"
 )
@@ -98,6 +99,9 @@ func (pkg *Package) Unwrap(pid int, keys *ProcessorKeys) (aes.Block, error) {
 		return aes.Block{}, fmt.Errorf("core: processor %d is not a member of this package", pid)
 	}
 	raw, err := rsa.DecryptKey(keys.private, wrapped)
+	// The RSA plaintext is the session key itself; it must not outlive
+	// this frame on any path, including the error returns below.
+	defer ct.Zero(raw)
 	if err != nil {
 		return aes.Block{}, fmt.Errorf("core: unwrapping session key: %w", err)
 	}
@@ -108,7 +112,7 @@ func (pkg *Package) Unwrap(pid int, keys *ProcessorKeys) (aes.Block, error) {
 	copy(key[:], raw)
 	cipher := aes.NewFromBlock(key)
 	mac := cbcmac.Sum(cipher, pkg.ImageIV.XOR(aes.BlockFromUint64(^uint64(0), 0)), pkg.Image)
-	if mac != pkg.ImageMAC {
+	if !ct.Equal(mac[:], pkg.ImageMAC[:]) {
 		return aes.Block{}, fmt.Errorf("core: program image failed authentication")
 	}
 	return key, nil
@@ -149,7 +153,7 @@ func (disp *Dispatcher) Install(sys *System, table *GroupTable, pkg *Package, ke
 		}
 		if first {
 			sessionKey, first = k, false
-		} else if k != sessionKey {
+		} else if !ct.Equal(k[:], sessionKey[:]) {
 			return 0, fmt.Errorf("core: member %d unwrapped a different session key", pid)
 		}
 	}

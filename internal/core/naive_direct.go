@@ -5,6 +5,7 @@ import (
 
 	"senss/internal/crypto/aes"
 	"senss/internal/crypto/cbcmac"
+	"senss/internal/crypto/ct"
 )
 
 // NaiveChannel models the baseline the paper sets aside in §7.3 ("a
@@ -65,7 +66,8 @@ func (c *NaiveChannel) Receive(msg NaiveMessage) ([]aes.Block, error) {
 	for j := range msg.Cipher {
 		mac.Update(msg.Cipher[j])
 	}
-	if mac.Sum() != msg.Tag {
+	sum := mac.Sum()
+	if !ct.Equal(sum[:], msg.Tag[:]) {
 		return nil, fmt.Errorf("core: naive per-message MAC failed for seq %d", msg.Seq)
 	}
 	plain := make([]aes.Block, len(msg.Cipher))

@@ -6,6 +6,7 @@ import (
 
 	"senss/internal/crypto/aes"
 	"senss/internal/crypto/cbcmac"
+	"senss/internal/crypto/ct"
 	"senss/internal/crypto/gf128"
 )
 
@@ -66,7 +67,7 @@ func (s *SHU) Resume(saved *SavedContext, key aes.Block) error {
 	cipher := aes.NewFromBlock(key)
 	// Authenticate before use: a swapped blob in memory is attacker-reachable.
 	mac := cbcmac.Sum(cipher, saved.IV.XOR(s.macBinder(cipher, saved.IV)), saved.Ciphertext)
-	if mac != saved.MAC {
+	if !ct.Equal(mac[:], saved.MAC[:]) {
 		return fmt.Errorf("core: suspended context for GID %d failed authentication", saved.GID)
 	}
 	plain := cbcDecrypt(cipher, saved.IV, saved.Ciphertext)

@@ -5,6 +5,7 @@ import (
 
 	"senss/internal/bus"
 	"senss/internal/crypto/aes"
+	"senss/internal/crypto/ct"
 	"senss/internal/sim"
 )
 
@@ -337,7 +338,7 @@ func (s *System) authenticate(gid int, members uint32, gt *groupTiming) uint64 {
 			s.detect(err.Error())
 			continue
 		}
-		if !equalBytes(ref, tag) {
+		if !ct.Equal(ref, tag) {
 			s.detect(fmt.Sprintf("bus authentication failure: processor %d disagrees with initiator %d on group %d",
 				pid, initiator, gid))
 			return occ
@@ -362,16 +363,4 @@ func (s *System) ForceAuthentication(gid int) {
 	}
 	gt.authCtr = 0
 	s.authenticate(gid, members, gt)
-}
-
-func equalBytes(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

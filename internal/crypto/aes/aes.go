@@ -95,6 +95,8 @@ func init() {
 }
 
 // xtime multiplies by x (i.e., {02}) in GF(2^8) with the AES polynomial.
+//
+//senss-lint:ignore taintflow reference AES is table- and branch-based by design; a constant-time (bitsliced) implementation is out of scope, and the simulator never runs against live adversaries (DESIGN §12)
 func xtime(b byte) byte {
 	if b&0x80 != 0 {
 		return b<<1 ^ 0x1b
@@ -120,7 +122,9 @@ var rcon = [11]byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 
 
 // Cipher is an expanded AES-128 key schedule.
 type Cipher struct {
+	//senss-lint:secret
 	enc [4 * (rounds + 1)]uint32
+	//senss-lint:secret
 	dec [4 * (rounds + 1)]uint32
 }
 

@@ -1,0 +1,60 @@
+package ct_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"senss/internal/crypto/ct"
+)
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"", "", true},
+		{"a", "a", true},
+		{"a", "b", false},
+		{"abc", "ab", false},
+		{"\x00\x01\x02", "\x00\x01\x02", true},
+		{"\x00\x01\x02", "\x00\x01\x03", false},
+	}
+	for _, c := range cases {
+		if got := ct.Equal([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("Equal(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if !ct.Equal(nil, []byte{}) {
+		t.Error("nil and empty must compare equal: length is the only signal")
+	}
+}
+
+func TestZero(t *testing.T) {
+	b := []byte{1, 2, 3, 4, 255}
+	ct.Zero(b)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("byte %d survived Zero: %d", i, v)
+		}
+	}
+	ct.Zero(nil) // must not panic
+}
+
+// TestFingerprint pins the format (8 hex chars) and checks the digest
+// against the standard library's SHA-256, since the internal implementation
+// must agree with FIPS 180-4.
+func TestFingerprint(t *testing.T) {
+	secret := []byte("0123456789abcdef")
+	fp := ct.Fingerprint(secret)
+	if len(fp) != 2*ct.FingerprintBytes {
+		t.Fatalf("fingerprint %q has length %d, want %d", fp, len(fp), 2*ct.FingerprintBytes)
+	}
+	sum := sha256.Sum256(secret)
+	if want := hex.EncodeToString(sum[:ct.FingerprintBytes]); fp != want {
+		t.Fatalf("Fingerprint = %q, want %q", fp, want)
+	}
+	if ct.Fingerprint([]byte("other")) == fp {
+		t.Fatal("distinct secrets produced the same fingerprint")
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ContentHash computes a deterministic digest of a lint run's inputs: the
+// sorted analyzer names plus the path and contents of every source file of
+// every package, in sorted order. Two runs with the same hash are
+// guaranteed to produce the same findings, which is what lets the farm
+// cache lint results content-addressed exactly like experiment outputs.
+func ContentHash(analyzers []string, pkgs []*Package) (string, error) {
+	h := sha256.New()
+	names := append([]string(nil), analyzers...)
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "analyzer\x00%s\x00", n)
+	}
+	var files []string
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if name != "" && !seen[name] {
+				seen[name] = true
+				files = append(files, name)
+			}
+		}
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		fmt.Fprintf(h, "file\x00%s\x00", name)
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return "", fmt.Errorf("lint: hashing %s: %w", name, err)
+		}
+		_, _ = h.Write(src) // sha256.Write never fails
+		_, _ = h.Write([]byte{0})
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -51,7 +51,12 @@ type Analyzer struct {
 	// matches every command). A nil scope applies everywhere.
 	Scope []string
 	// Run inspects one package and reports findings through the pass.
+	// Exactly one of Run and RunModule is set.
 	Run func(*Pass)
+	// RunModule inspects every package at once — the shape interprocedural
+	// analyses need, since a flow can enter in one package and sink in
+	// another. Scope still filters which packages' findings are kept.
+	RunModule func(*ModulePass)
 }
 
 // applies reports whether the analyzer covers the package at relPath.
@@ -126,6 +131,27 @@ func (p *Pass) CalleePkgPath(call *ast.CallExpr) string {
 	return ""
 }
 
+// ModulePass carries one (analyzer, whole module) unit of work for
+// analyzers that need the cross-package view.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Pkgs is every loaded package, sorted by import path, sharing one
+	// token.FileSet and one type-checked object space (a *types.Var seen
+	// from two packages is the same pointer).
+	Pkgs   []*Package
+	Fset   *token.FileSet
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Registry returns the default analyzer suite, in reporting order.
 func Registry() []*Analyzer {
 	return []*Analyzer{
@@ -134,7 +160,18 @@ func Registry() []*Analyzer {
 		AnalyzerSecrets(),
 		AnalyzerCycleAcct(),
 		AnalyzerDroppedErr(),
+		AnalyzerTaintflow(),
 	}
+}
+
+// RegistryNames returns the analyzer names of the default suite — the
+// namespace senss-lint:ignore directives are validated against.
+func RegistryNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Registry() {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // RunAnalyzers executes every applicable analyzer over the packages,
@@ -142,11 +179,33 @@ func Registry() []*Analyzer {
 // diagnostic for each malformed or reason-less directive. The result is
 // sorted by position for reproducible output.
 func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	// Waiver directives may name any analyzer of the default suite plus
+	// whatever extra analyzers this run carries (fixture tests construct
+	// ad-hoc ones).
+	known := RegistryNames()
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sups := make([]*suppressions, len(pkgs))
+	for i, pkg := range pkgs {
+		sups[i] = collectSuppressions(pkg, known)
+	}
+	// suppressed consults every package's waivers: module-level analyzers
+	// report into files of any package, and supEntry.covers matches on the
+	// diagnostic's filename, so scanning all sets is exact.
+	suppressed := func(d Diagnostic) bool {
+		for _, sup := range sups {
+			if sup.suppresses(d) {
+				return true
+			}
+		}
+		return false
+	}
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
+	for i, pkg := range pkgs {
+		sup := sups[i]
 		for _, a := range analyzers {
-			if !a.applies(pkg.RelPath) {
+			if a.Run == nil || !a.applies(pkg.RelPath) {
 				continue
 			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
@@ -157,6 +216,31 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 			a.Run(pass)
 		}
 		out = append(out, sup.problems...)
+	}
+	if len(pkgs) > 0 {
+		// scoped filters the module view down to the packages the analyzer
+		// covers, so Scope keeps meaning the same thing in both modes.
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			var scoped []*Package
+			for _, pkg := range pkgs {
+				if a.applies(pkg.RelPath) {
+					scoped = append(scoped, pkg)
+				}
+			}
+			if len(scoped) == 0 {
+				continue
+			}
+			mp := &ModulePass{Analyzer: a, Pkgs: scoped, Fset: scoped[0].Fset,
+				report: func(d Diagnostic) {
+					if !suppressed(d) {
+						out = append(out, d)
+					}
+				}}
+			a.RunModule(mp)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -2,6 +2,8 @@ package lint_test
 
 import (
 	"fmt"
+	"io/fs"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -118,6 +120,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"cycle", lint.AnalyzerCycleAcct()},
 		{"dropped", lint.AnalyzerDroppedErr()},
 		{"suppress", lint.AnalyzerDroppedErr()},
+		{"taint", lint.AnalyzerTaintflow()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -168,6 +171,76 @@ func TestModuleClean(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Errorf("senss-lint found %d issue(s); the tree must stay lint-clean", len(diags))
+	}
+}
+
+// TestNoVariableTimeCompareHelpers asserts the remediation of this
+// analyzer's findings sticks at the source level: the packages that
+// handle MACs, tags, and keys contain no bytes.Equal / reflect.DeepEqual
+// calls and no local byte-loop equality helpers — every comparison of
+// secret-adjacent material goes through internal/crypto/ct.Equal. The
+// semantic version of this guarantee (no ==/!= on tainted material
+// either) is enforced by taintflow via TestModuleClean; this textual
+// check catches a helper being reintroduced in a form the taint engine
+// might not see as secret.
+func TestNoVariableTimeCompareHelpers(t *testing.T) {
+	banned := []string{"bytes.Equal(", "reflect.DeepEqual(", "func bytesEqual(", "func equalBytes("}
+	for _, dir := range []string{"core", "integrity", "memsec", "machine", "oracle", "crypto"} {
+		root, err := filepath.Abs(filepath.Join("../..", "internal", dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return err
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, b := range banned {
+				if strings.Contains(string(src), b) {
+					t.Errorf("%s contains %q; compare secret material with ct.Equal", path, strings.TrimSuffix(b, "("))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestContentHash pins the -json envelope's caching contract: the hash is
+// stable across runs over identical inputs, sensitive to the analyzer
+// set, and insensitive to analyzer-name order.
+func TestContentHash(t *testing.T) {
+	loader := newLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "taint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := []*lint.Package{pkg}
+	h1, err := lint.ContentHash([]string{"taintflow", "secrets"}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := lint.ContentHash([]string{"secrets", "taintflow"}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("hash depends on analyzer order: %s vs %s", h1, h2)
+	}
+	if !strings.HasPrefix(h1, "sha256:") || len(h1) != len("sha256:")+64 {
+		t.Errorf("malformed hash %q", h1)
+	}
+	h3, err := lint.ContentHash([]string{"taintflow"}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("hash ignores the analyzer set")
 	}
 }
 

@@ -1,9 +1,20 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"strings"
 )
+
+// nameListHas reports whether the comma-split analyzer list names a.
+func nameListHas(names []string, a string) bool {
+	for _, n := range names {
+		if n == a {
+			return true
+		}
+	}
+	return false
+}
 
 // Suppression directives.
 //
@@ -15,7 +26,18 @@ import (
 // covers the whole declaration, so a single audited waiver can cover every
 // return path of a deliberately zero-cost function. The analyzer list may
 // be "all". The reason is mandatory: a waiver without a written
-// justification is itself reported as a finding.
+// justification is itself reported as a finding, a waiver naming an
+// analyzer that does not exist is a finding (it silently protects
+// nothing), and a taintflow waiver must carry a written reason because it
+// locally disables the secret-flow guarantee.
+//
+// A third directive form,
+//
+//	//senss-lint:secret
+//
+// is not a suppression at all: placed on a struct field it marks the field
+// as a taint origin for the taintflow analyzer (see taintflow.go), so it
+// is accepted here without complaint.
 const directivePrefix = "senss-lint:"
 
 type supEntry struct {
@@ -54,7 +76,10 @@ func (s *suppressions) suppresses(d Diagnostic) bool {
 }
 
 // collectSuppressions scans every comment of the package for directives.
-func collectSuppressions(pkg *Package) *suppressions {
+// known is the set of analyzer names a waiver may legitimately reference;
+// naming anything else is reported, since such a waiver suppresses nothing
+// today and silently rots when analyzers are renamed.
+func collectSuppressions(pkg *Package, known map[string]bool) *suppressions {
 	s := &suppressions{}
 	for _, f := range pkg.Files {
 		// declSpan maps a directive line to the span of the top-level
@@ -92,22 +117,44 @@ func collectSuppressions(pkg *Package) *suppressions {
 					body = body[:i]
 				}
 				fields := strings.Fields(body)
+				if len(fields) == 1 && fields[0] == "secret" {
+					// A taint-origin annotation, consumed by taintflow.
+					continue
+				}
 				if len(fields) == 0 || (fields[0] != "ignore" && fields[0] != "file-ignore") {
 					s.problems = append(s.problems, Diagnostic{
 						Analyzer: "lintdirective", Pos: pos,
-						Message: "malformed senss-lint directive: want ignore or file-ignore",
+						Message: "malformed senss-lint directive: want ignore, file-ignore, or secret",
 					})
 					continue
 				}
+				names := strings.Split(fields[1], ",")
 				if len(fields) < 3 {
+					msg := "senss-lint:" + fields[0] + " needs an analyzer list and a written reason"
+					if len(fields) == 2 && nameListHas(names, "taintflow") {
+						msg = "senss-lint:" + fields[0] + " of taintflow waives the secret-flow guarantee and must carry a written reason"
+					}
 					s.problems = append(s.problems, Diagnostic{
 						Analyzer: "lintdirective", Pos: pos,
-						Message: "senss-lint:" + fields[0] + " needs an analyzer list and a written reason",
+						Message: msg,
 					})
+					continue
+				}
+				bad := false
+				for _, n := range names {
+					if n != "all" && !known[n] {
+						s.problems = append(s.problems, Diagnostic{
+							Analyzer: "lintdirective", Pos: pos,
+							Message: fmt.Sprintf("senss-lint:%s references unknown analyzer %q", fields[0], n),
+						})
+						bad = true
+					}
+				}
+				if bad {
 					continue
 				}
 				entry := supEntry{
-					analyzers: strings.Split(fields[1], ","),
+					analyzers: names,
 					file:      pos.Filename,
 				}
 				if fields[0] == "file-ignore" {

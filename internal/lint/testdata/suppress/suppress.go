@@ -38,3 +38,17 @@ func DeclWide() {
 func Malformed() {
 	mayFail() // want "error result of mayFail is dropped"
 }
+
+// A waiver naming an analyzer that does not exist protects nothing and is
+// itself a finding.
+func UnknownAnalyzer() {
+	//senss-lint:ignore nosuchanalyzer fixture: typo in the analyzer name // want `references unknown analyzer "nosuchanalyzer"`
+	mayFail() // want "error result of mayFail is dropped"
+}
+
+// A taintflow waiver without a reason gets the stricter message: it
+// locally disables the secret-flow guarantee.
+func TaintflowNoReason() {
+	//senss-lint:ignore taintflow // want "must carry a written reason"
+	mayFail() // want "error result of mayFail is dropped"
+}

@@ -1,0 +1,88 @@
+package taint
+
+// corners.go exercises the propagation corner cases the issue calls out:
+// slice re-slicing, copy() into a fresh buffer reaching a file write,
+// closure capture, interface method pass-through, interprocedural helper
+// flow — and the false-positive guards (fingerprint and constant-time
+// comparison of a secret are clean, as is length metadata).
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"os"
+)
+
+// Reslice re-slices the key before leaking it.
+func Reslice(v *Vault) {
+	window := v.Key[4:12]
+	fmt.Println(window) // want `flows into fmt.Println`
+}
+
+// WriteCache models the farm's content-addressed cache write path: the
+// copy into a fresh buffer must not launder the taint.
+func WriteCache(v *Vault, path string) error {
+	buf := make([]byte, len(v.Key))
+	copy(buf, v.Key)
+	return os.WriteFile(path, buf, 0o600) // want `flows into os.WriteFile`
+}
+
+// Closure captures a secret and leaks it later.
+func Closure(v *Vault) func() {
+	k := v.Key
+	return func() {
+		fmt.Println("captured:", k) // want `flows into fmt.Println`
+	}
+}
+
+// consumer is the interface the secret passes through.
+type consumer interface {
+	Consume(b []byte)
+}
+
+// logSink is the concrete implementation behind the interface call.
+type logSink struct{}
+
+func (logSink) Consume(b []byte) {
+	fmt.Printf("consumed %x\n", b) // want `flows into fmt.Printf`
+}
+
+// ViaInterface hands the secret to an interface method; the analyzer must
+// resolve the call to logSink.Consume through the method set.
+func ViaInterface(v *Vault, c consumer) {
+	c.Consume(v.Key)
+}
+
+// helperTag derives a tag from the schedule — an interprocedural summary:
+// the result carries the parameter's taint.
+func helperTag(schedule []byte) [16]byte {
+	var tag [16]byte
+	copy(tag[:], schedule)
+	return tag
+}
+
+// ArrayCompare compares a derived tag with ==: the taint rides through
+// the helper's summary and the array copy.
+func ArrayCompare() bool {
+	tag := helperTag(padSchedule())
+	var zero [16]byte
+	return tag == zero // want `use ct.Equal`
+}
+
+// FingerprintClean is the false-positive guard: a SHA-256 digest of the
+// secret is the sanctioned declassified form.
+func FingerprintClean(v *Vault) string {
+	sum := sha256.Sum256(v.Key)
+	return hex.EncodeToString(sum[:4]) // no finding: hash output is clean
+}
+
+// ConstantTimeClean compares through the constant-time primitive.
+func ConstantTimeClean(v *Vault, guess []byte) bool {
+	return subtle.ConstantTimeCompare(v.Key, guess) == 1 // no finding
+}
+
+// LenClean leaks only public metadata.
+func LenClean(v *Vault) error {
+	return fmt.Errorf("key has %d bytes", len(v.Key)) // no finding: length is public
+}

@@ -199,6 +199,7 @@ type Machine struct {
 	planned   [][]int  // processor subsets for planned SENSS groups
 	nodeCode  []uint64 // per-processor text region base (per-group text)
 	procKeys  map[int]*core.ProcessorKeys
+	//senss-lint:secret
 	groupKeys map[int]aes.Block // session keys, kept for §4.2 swap-in
 	naive     *naiveHook        // §7.3 strawman baseline, when configured
 }

@@ -3,6 +3,7 @@ package oracle
 import (
 	"senss/internal/core"
 	"senss/internal/crypto/aes"
+	"senss/internal/crypto/ct"
 	"senss/internal/crypto/gf128"
 )
 
@@ -14,12 +15,15 @@ import (
 // mutual agreement can never see (all members reusing a stale pad still
 // agree with each other, but not with the schedule).
 type groupRef struct {
-	cipher   *aes.Cipher
-	gf       bool
-	banks    [][]aes.Block
-	seq      uint64
-	chain    aes.Block // Eq. 1 transcript CBC-MAC state (AuthCBC)
-	ghash    *gf128.GHASH
+	cipher *aes.Cipher
+	gf     bool
+	//senss-lint:secret
+	banks [][]aes.Block
+	seq   uint64
+	//senss-lint:secret
+	chain aes.Block // Eq. 1 transcript CBC-MAC state (AuthCBC)
+	ghash *gf128.GHASH
+	//senss-lint:secret
 	ctrBase  aes.Block
 	ctr      uint64
 	tagBytes int
@@ -64,6 +68,15 @@ func (c *Checker) OnEstablish(gid int, key aes.Block, members uint32, encIV, aut
 		ref.chain = authIV
 	}
 	c.groups[gid] = ref
+	// Log the establishment redacted-at-source: fingerprints only, so no
+	// later report path can leak what was never stored.
+	c.sessions = append(c.sessions, SessionFP{
+		GID:      gid,
+		KeyFP:    ct.Fingerprint(key[:]),
+		Members:  members,
+		EncIVFP:  ct.Fingerprint(encIV[:]),
+		AuthIVFP: ct.Fingerprint(authIV[:]),
+	})
 }
 
 // pidInput is the (plaintext ⊕ originator-PID) block of Eq. 1 / Figure 2.
@@ -140,7 +153,7 @@ func (c *Checker) OnAuth(gid, initiator int, tag []byte) {
 	if n > len(sum) {
 		n = len(sum)
 	}
-	if !bytesEqual(tag[:n], sum[:n]) {
+	if !ct.Equal(tag[:n], sum[:n]) {
 		c.fail("group %d authentication tag from processor %d diverges from the reference transcript MAC",
 			gid, initiator)
 	}

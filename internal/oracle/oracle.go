@@ -28,6 +28,7 @@ import (
 	"senss/internal/bus"
 	"senss/internal/coherence"
 	"senss/internal/core"
+	"senss/internal/crypto/ct"
 	"senss/internal/sim"
 )
 
@@ -64,16 +65,32 @@ type Event struct {
 	Data     string `json:"data,omitempty"` // hex line payload for data-bearing kinds
 }
 
+// SessionFP identifies an established crypto session in a report without
+// disclosing any secret: every field that is key material in the simulator
+// appears only as a fingerprint — the hex of the first ct.FingerprintBytes
+// bytes of its SHA-256 (ct.Fingerprint). The raw session key is never
+// retained by the checker outside the reference cipher.
+type SessionFP struct {
+	GID      int    `json:"gid"`
+	KeyFP    string `json:"key_fp"`
+	Members  uint32 `json:"members"`
+	EncIVFP  string `json:"enc_iv_fp"`
+	AuthIVFP string `json:"auth_iv_fp"`
+}
+
 // Report is the frozen state of the first divergence: everything needed to
 // reproduce and understand it. Rerunning the same seed and config yields
-// the identical report.
+// the identical report. Sessions carries redacted identifiers of every
+// session the oracle observed, so a divergence can be matched to the
+// session that produced it without the report ever holding key bytes.
 type Report struct {
-	Divergence string  `json:"divergence"`
-	Cycle      uint64  `json:"cycle"`
-	Seed       uint64  `json:"seed"`
-	Config     string  `json:"config"`
-	Checked    uint64  `json:"checked"` // transactions observed before the divergence
-	Events     []Event `json:"events"`  // most recent bus events, oldest first
+	Divergence string      `json:"divergence"`
+	Cycle      uint64      `json:"cycle"`
+	Seed       uint64      `json:"seed"`
+	Config     string      `json:"config"`
+	Checked    uint64      `json:"checked"` // transactions observed before the divergence
+	Sessions   []SessionFP `json:"sessions,omitempty"`
+	Events     []Event     `json:"events"` // most recent bus events, oldest first
 }
 
 // Checker is the lockstep differential oracle. It implements
@@ -84,9 +101,10 @@ type Checker struct {
 	nodes  []*coherence.Node
 	alarm  func() bool
 
-	lines  map[uint64]*lineRef
-	memory map[uint64][]byte
-	groups map[int]*groupRef
+	lines    map[uint64]*lineRef
+	memory   map[uint64][]byte
+	groups   map[int]*groupRef
+	sessions []SessionFP // redacted establishment log, in observation order
 
 	// pending carries the sender-side plaintext of the in-flight
 	// cache-to-cache transfer from the Observer callback to the bus hook,
@@ -152,7 +170,8 @@ func (c *Checker) Checked() uint64 { return c.total }
 func (c *Checker) WriteJSON(w io.Writer) error {
 	r := c.report
 	if r == nil {
-		r = &Report{Seed: c.seed, Config: c.config, Checked: c.total}
+		r = &Report{Seed: c.seed, Config: c.config, Checked: c.total,
+			Sessions: append([]SessionFP(nil), c.sessions...)}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -177,6 +196,7 @@ func (c *Checker) fail(format string, args ...any) {
 		Seed:       c.seed,
 		Config:     c.config,
 		Checked:    c.total,
+		Sessions:   append([]SessionFP(nil), c.sessions...),
 		Events:     c.events(),
 	}
 	if c.engine != nil {
@@ -380,7 +400,7 @@ func (c *Checker) checkMemoryData(t *bus.Transaction) bool {
 		c.memory[t.Addr] = cloneBytes(t.Data)
 		return true
 	}
-	if !bytesEqual(img, t.Data) {
+	if !ct.Equal(img, t.Data) {
 		c.fail("memory-supplied data for %#x diverges from the reference memory image", t.Addr)
 		return false
 	}
@@ -394,14 +414,14 @@ func (c *Checker) checkPayload(t *bus.Transaction) bool {
 	if c.pendingSet && c.pendingGID == t.GID && !c.alarmRaised() {
 		for j, b := range c.pendingPlain {
 			lo := j * len(b)
-			if lo+len(b) > len(t.Data) || !bytesEqual(b[:], t.Data[lo:lo+len(b)]) {
+			if lo+len(b) > len(t.Data) || !ct.Equal(b[:], t.Data[lo:lo+len(b)]) {
 				c.fail("decrypted payload of the %#x transfer diverges from the sender's plaintext (block %d)",
 					t.Addr, j)
 				return false
 			}
 		}
 	}
-	if li := c.lines[t.Addr]; li != nil && li.known && !bytesEqual(li.value, t.Data) {
+	if li := c.lines[t.Addr]; li != nil && li.known && !ct.Equal(li.value, t.Data) {
 		c.fail("cache-to-cache data for %#x diverges from the reference value", t.Addr)
 		return false
 	}
@@ -426,16 +446,4 @@ func cloneBytes(b []byte) []byte {
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out
-}
-
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

@@ -2,11 +2,13 @@ package oracle_test
 
 import (
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"strings"
 	"testing"
 
 	"senss/internal/cpu"
+	"senss/internal/crypto/ct"
 	"senss/internal/machine"
 	"senss/internal/oracle"
 )
@@ -144,9 +146,40 @@ func TestOracleCatchesSkippedInvalidation(t *testing.T) {
 	if r.Seed != 1 || r.Config == "" {
 		t.Errorf("report lacks reproduction coordinates: seed=%d config=%q", r.Seed, r.Config)
 	}
+	assertRedactedSessions(t, &r, first)
 
 	if second := faultedReport(t, 1, fault); second != first {
 		t.Errorf("report is not replayable:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}
+
+// assertRedactedSessions checks that the report identifies the observed
+// sessions by fingerprint only: short fixed-width hex identifiers, and no
+// raw key material anywhere in the serialized report. (The session key is
+// ct.FingerprintBytes*2 hex characters when disclosed as a fingerprint; a
+// leaked raw key or IV would be 32 hex characters of the same value.)
+func assertRedactedSessions(t *testing.T, r *oracle.Report, raw string) {
+	t.Helper()
+	if len(r.Sessions) == 0 {
+		t.Fatal("report carries no session fingerprints")
+	}
+	for _, s := range r.Sessions {
+		for name, fp := range map[string]string{
+			"key_fp": s.KeyFP, "enc_iv_fp": s.EncIVFP, "auth_iv_fp": s.AuthIVFP,
+		} {
+			if len(fp) != 2*ct.FingerprintBytes {
+				t.Errorf("session %d %s = %q; want %d hex chars", s.GID, name, fp, 2*ct.FingerprintBytes)
+			}
+			if _, err := hex.DecodeString(fp); err != nil {
+				t.Errorf("session %d %s = %q is not hex: %v", s.GID, name, fp, err)
+			}
+		}
+		if s.Members == 0 {
+			t.Errorf("session %d has no members", s.GID)
+		}
+	}
+	if !strings.Contains(raw, `"sessions"`) {
+		t.Error("serialized report lacks the sessions section")
 	}
 }
 
