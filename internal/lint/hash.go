@@ -5,14 +5,20 @@ import (
 	"encoding/hex"
 	"fmt"
 	"os"
+	"path"
+	"path/filepath"
 	"sort"
 )
 
 // ContentHash computes a deterministic digest of a lint run's inputs: the
 // sorted analyzer names plus the path and contents of every source file of
-// every package, in sorted order. Two runs with the same hash are
-// guaranteed to produce the same findings, which is what lets the farm
-// cache lint results content-addressed exactly like experiment outputs.
+// every package, in sorted order. File paths are digested relative to the
+// module root (slash-separated), so identical trees checked out at
+// different absolute paths — or on different machines — hash identically
+// and the farm's content-addressed lint cache stays shareable. Two runs
+// with the same hash are guaranteed to produce the same findings, which is
+// what lets the farm cache lint results content-addressed exactly like
+// experiment outputs.
 func ContentHash(analyzers []string, pkgs []*Package) (string, error) {
 	h := sha256.New()
 	names := append([]string(nil), analyzers...)
@@ -20,23 +26,33 @@ func ContentHash(analyzers []string, pkgs []*Package) (string, error) {
 	for _, n := range names {
 		fmt.Fprintf(h, "analyzer\x00%s\x00", n)
 	}
-	var files []string
+	type hashFile struct {
+		rel, abs string
+	}
+	var files []hashFile
 	seen := make(map[string]bool)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
-			name := pkg.Fset.Position(f.Pos()).Filename
-			if name != "" && !seen[name] {
-				seen[name] = true
-				files = append(files, name)
+			abs := pkg.Fset.Position(f.Pos()).Filename
+			if abs == "" || seen[abs] {
+				continue
 			}
+			seen[abs] = true
+			rel := path.Join(filepath.ToSlash(pkg.RelPath), filepath.Base(abs))
+			files = append(files, hashFile{rel: rel, abs: abs})
 		}
 	}
-	sort.Strings(files)
-	for _, name := range files {
-		fmt.Fprintf(h, "file\x00%s\x00", name)
-		src, err := os.ReadFile(name)
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].rel != files[j].rel {
+			return files[i].rel < files[j].rel
+		}
+		return files[i].abs < files[j].abs
+	})
+	for _, fl := range files {
+		fmt.Fprintf(h, "file\x00%s\x00", fl.rel)
+		src, err := os.ReadFile(fl.abs)
 		if err != nil {
-			return "", fmt.Errorf("lint: hashing %s: %w", name, err)
+			return "", fmt.Errorf("lint: hashing %s: %w", fl.rel, err)
 		}
 		_, _ = h.Write(src) // sha256.Write never fails
 		_, _ = h.Write([]byte{0})

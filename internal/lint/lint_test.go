@@ -244,6 +244,49 @@ func TestContentHash(t *testing.T) {
 	}
 }
 
+// TestContentHashRelocatable pins the cache-sharing half of the contract:
+// the hash digests module-relative paths, so the same tree checked out at
+// two different absolute locations produces the same hash.
+func TestContentHashRelocatable(t *testing.T) {
+	loader := newLoader(t)
+	src, err := filepath.Abs(filepath.Join("testdata", "taint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hashes []string
+	for _, parent := range []string{"checkout-a", "checkout-b/nested"} {
+		dir := filepath.Join(t.TempDir(), parent, "taint")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(src, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := lint.ContentHash([]string{"taintflow"}, []*lint.Package{pkg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+	}
+	if hashes[0] != hashes[1] {
+		t.Errorf("hash depends on the checkout path: %s vs %s", hashes[0], hashes[1])
+	}
+}
+
 // TestDiagnosticString pins the report format the driver prints.
 func TestDiagnosticString(t *testing.T) {
 	d := lint.Diagnostic{Analyzer: "determinism", Message: "boom"}

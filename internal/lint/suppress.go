@@ -128,10 +128,19 @@ func collectSuppressions(pkg *Package, known map[string]bool) *suppressions {
 					})
 					continue
 				}
+				if len(fields) < 2 {
+					// Bare "//senss-lint:ignore" with no analyzer list:
+					// report it rather than indexing past the verb.
+					s.problems = append(s.problems, Diagnostic{
+						Analyzer: "lintdirective", Pos: pos,
+						Message: "senss-lint:" + fields[0] + " needs an analyzer list and a written reason",
+					})
+					continue
+				}
 				names := strings.Split(fields[1], ",")
 				if len(fields) < 3 {
 					msg := "senss-lint:" + fields[0] + " needs an analyzer list and a written reason"
-					if len(fields) == 2 && nameListHas(names, "taintflow") {
+					if nameListHas(names, "taintflow") {
 						msg = "senss-lint:" + fields[0] + " of taintflow waives the secret-flow guarantee and must carry a written reason"
 					}
 					s.problems = append(s.problems, Diagnostic{

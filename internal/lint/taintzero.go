@@ -15,6 +15,7 @@ package lint
 //     secret as an argument or receiver (ct.Zero and the tree's existing
 //     zeroize helpers both match);
 //   - `for i := range secret { secret[i] = 0 }`;
+//   - the counted form, `for i := 0; i < len(secret); i++ { secret[i] = 0 }`;
 //   - assignment of an empty composite literal (secret = T{});
 //   - the deferred form of the call, which covers every later return.
 //
@@ -26,6 +27,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -196,6 +198,61 @@ func (zw *zeroWalker) isZeroRange(r *ast.RangeStmt) bool {
 	return false
 }
 
+// isZeroFor recognizes the counted zeroing idiom,
+// `for i := 0; i < len(secret); i++ { secret[i] = 0 }`: index declared
+// zero, bounded by the secret's length, incremented by one, with a single
+// body statement storing zero through that index. (An empty secret skips
+// the body, but then there is nothing left to erase, so the loop is still
+// a complete erasure.)
+func (zw *zeroWalker) isZeroFor(f *ast.ForStmt) bool {
+	init, ok := f.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return false
+	}
+	iv, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if lit, ok := init.Rhs[0].(*ast.BasicLit); !ok || lit.Value != "0" {
+		return false
+	}
+	cond, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS || !isIdentNamed(cond.X, iv.Name) {
+		return false
+	}
+	bound, ok := ast.Unparen(cond.Y).(*ast.CallExpr)
+	if !ok || len(bound.Args) != 1 || !zw.mentions(bound.Args[0]) {
+		return false
+	}
+	if fn, ok := ast.Unparen(bound.Fun).(*ast.Ident); !ok || fn.Name != "len" {
+		return false
+	}
+	inc, ok := f.Post.(*ast.IncDecStmt)
+	if !ok || inc.Tok != token.INC || !isIdentNamed(inc.X, iv.Name) {
+		return false
+	}
+	if f.Body == nil || len(f.Body.List) != 1 {
+		return false
+	}
+	as, ok := f.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	idx, ok := as.Lhs[0].(*ast.IndexExpr)
+	if !ok || !zw.mentions(idx.X) || !isIdentNamed(idx.Index, iv.Name) {
+		return false
+	}
+	lit, ok := as.Rhs[0].(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// isIdentNamed reports whether e is (possibly parenthesized) the bare
+// identifier name.
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
 // stmts walks a statement list, returning the outgoing state and whether
 // control can fall off the end.
 func (zw *zeroWalker) stmts(list []ast.Stmt, st zstate) (zstate, bool) {
@@ -284,6 +341,10 @@ func (zw *zeroWalker) stmt(s ast.Stmt, st zstate) (zstate, bool) {
 			return st, false
 		}
 	case *ast.ForStmt:
+		if zw.isZeroFor(t) {
+			st.z = true
+			return st, true
+		}
 		st, _ = zw.stmt(t.Init, st)
 		// The body may run zero times: its erasures do not count after
 		// the loop, but its returns are still checked.

@@ -24,6 +24,14 @@ func NoReason() {
 	mayFail() // want "error result of mayFail is dropped"
 }
 
+// A bare directive with no analyzer list at all (everything after the
+// nested "//" is commentary, so the scanner sees only the verb) must be
+// reported as malformed, not crash the directive scanner.
+func Bare() {
+	//senss-lint:ignore // want "needs an analyzer list and a written reason"
+	mayFail() // want "error result of mayFail is dropped"
+}
+
 // A directive in the doc comment covers the whole declaration.
 //
 //senss-lint:ignore droppederr fixture: declaration-wide waiver

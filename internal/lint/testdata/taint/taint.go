@@ -96,6 +96,24 @@ func LeakZeroize(data []byte) ([]byte, error) {
 	return out, nil
 }
 
+// CleanCountedZeroize erases the key with the counted-loop idiom on both
+// paths; the plain `for i := 0; i < len(key); i++` form must count as
+// erasure just like a range-zero loop, with no waiver needed.
+func CleanCountedZeroize(data []byte) ([]byte, error) {
+	key := unwrapSessionKey()
+	out, err := seal(data, key)
+	if err != nil {
+		for i := 0; i < len(key); i++ {
+			key[i] = 0
+		}
+		return nil, err
+	}
+	for i := 0; i < len(key); i++ {
+		key[i] = 0
+	}
+	return out, nil
+}
+
 // CleanZeroize is the fixed twin: a deferred wipe covers every path.
 func CleanZeroize(data []byte) ([]byte, error) {
 	key := unwrapSessionKey()
