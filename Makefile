@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint taintflow race farm-race oracle fuzz-smoke figures verify clean
+.PHONY: all build test vet lint taintflow hotpath race farm-race oracle fuzz-smoke figures bench-sim verify clean
 
 all: verify
 
@@ -21,6 +21,13 @@ lint: build
 # full `lint` target (and thus `verify`) already includes it.
 taintflow: build
 	$(GO) run ./cmd/senss-lint -analyzer taintflow ./...
+
+# hotpath runs only the allocation-and-escape discipline analyzer for
+# //senss-lint:hotpath code (DESIGN.md section 13). The full `lint`
+# target (and thus `verify`) already includes it; this target is the
+# fast loop while annotating or remediating hot code.
+hotpath: build
+	$(GO) run ./cmd/senss-lint -analyzer hotpath ./...
 
 race:
 	$(GO) test -race ./...
@@ -52,6 +59,12 @@ fuzz-smoke: build
 # without simulating.
 figures: build
 	$(GO) run ./cmd/senss-tables -fig all -cache-dir .senss-cache
+
+# bench-sim records the raw-substrate trajectory point (simulated memory
+# ops per host second, host allocations per simulated op) in
+# BENCH_sim.json — the pinned baseline for ROADMAP-3 performance work.
+bench-sim: build
+	$(GO) run ./cmd/senss-farm bench-sim
 
 # verify is the full pre-merge gate: everything CI runs, in order of
 # increasing cost.

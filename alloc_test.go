@@ -1,0 +1,197 @@
+package senss
+
+// Dynamic half of the hotpath discipline (DESIGN.md §13): the static
+// analyzer proves the steady state allocates nothing by construction;
+// these tests measure it. A resident driver proc keeps one engine, bus,
+// and coherence node alive across testing.AllocsPerRun iterations, so the
+// measurement sees only per-operation cost — never engine or goroutine
+// setup. Budgets for the miss paths (which deliberately allocate until
+// the ROADMAP-3 transaction pool lands) are pinned in
+// testdata/alloc_budget.json; raising one is a deliberate, reviewed act.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"senss/internal/bus"
+	"senss/internal/coherence"
+	"senss/internal/crypto/aes"
+	"senss/internal/mem"
+	"senss/internal/memsec"
+	"senss/internal/rng"
+	"senss/internal/sim"
+)
+
+// allocRig owns a live simulation whose single proc executes memory
+// operations on demand. The proc blocks on work while holding the run
+// token; each run call hands it a batch and waits for completion, so the
+// simulated clock advances only inside measured regions.
+type allocRig struct {
+	work chan int
+	done chan struct{}
+	fin  chan error
+	op   int // persistent operation counter, so batches keep advancing the working set
+}
+
+// startAllocRig builds a one-node machine (small caches so miss scenarios
+// stay cheap) and parks a driver proc executing body per operation. With
+// secure set, the memory port is the memsec encryption layer.
+func startAllocRig(body func(p *sim.Proc, n *coherence.Node, op int), secure bool) *allocRig {
+	params := coherence.Params{
+		L1Size: 4 << 10, L1Ways: 2, L1Line: 32,
+		L2Size: 16 << 10, L2Ways: 4, L2Line: 64,
+		L1HitLat: 2, L2HitLat: 10, StoreLat: 2, RMWLat: 4,
+	}
+	timing := bus.Timing{
+		BusCycle: 10, C2CLat: 120, MemLat: 180,
+		BytesPerBusCycle: 32, LineBytes: 64,
+	}
+	eng := sim.NewEngine()
+	store := mem.New()
+	var port bus.MemoryPort = &bus.SimpleMemory{Backing: store}
+	if secure {
+		r := rng.New(7)
+		port = memsec.New(store, aes.Block(r.Block16()), 1,
+			memsec.Params{AESLatency: 80, PerfectSNC: true, PadEntries: 8192})
+	}
+	b := bus.New(eng, timing, port)
+	n := coherence.NewNode(0, params, b)
+
+	rig := &allocRig{
+		work: make(chan int),
+		done: make(chan struct{}),
+		fin:  make(chan error, 1),
+	}
+	eng.Spawn("alloc-driver", func(p *sim.Proc) {
+		for nops := range rig.work {
+			for i := 0; i < nops; i++ {
+				body(p, n, rig.op)
+				rig.op++
+			}
+			rig.done <- struct{}{}
+		}
+	})
+	go func() { rig.fin <- eng.Run() }()
+	return rig
+}
+
+// run executes one batch of nops operations inside the simulation.
+func (r *allocRig) run(nops int) {
+	r.work <- nops
+	<-r.done
+}
+
+// stop retires the driver proc and drains the engine.
+func (r *allocRig) stop(t *testing.T) {
+	t.Helper()
+	close(r.work)
+	if err := <-r.fin; err != nil {
+		t.Fatalf("alloc rig engine: %v", err)
+	}
+}
+
+// steadyBody touches a 4 KiB working set (64 lines, resident in the
+// 16 KiB L2) with loads, stores, and RMWs: after warmup every operation
+// is a cache hit — the simulator's steady state.
+func steadyBody(p *sim.Proc, n *coherence.Node, op int) {
+	addr := 0x1000 + uint64(op%64)*64
+	n.Load(p, addr)
+	n.Store(p, addr, uint64(op))
+	n.RMW(p, addr, func(v uint64) uint64 { return v + 1 })
+}
+
+// missBody cycles a 64 KiB working set (1024 lines, 4× the L2) so every
+// operation misses: fills, evictions, and dirty writebacks on the store
+// half.
+func missBody(p *sim.Proc, n *coherence.Node, op int) {
+	addr := 0x1000 + uint64(op%1024)*64
+	if op%2 == 0 {
+		n.Load(p, addr)
+	} else {
+		n.Store(p, addr, uint64(op))
+	}
+}
+
+// allocBudget is the schema of testdata/alloc_budget.json.
+type allocBudget struct {
+	Comment string             `json:"comment"`
+	Budgets map[string]float64 `json:"budgets"`
+}
+
+func loadAllocBudgets(t *testing.T) map[string]float64 {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/alloc_budget.json")
+	if err != nil {
+		t.Fatalf("reading alloc budget: %v", err)
+	}
+	var b allocBudget
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("parsing alloc budget: %v", err)
+	}
+	if len(b.Budgets) == 0 {
+		t.Fatal("alloc budget file has no budgets")
+	}
+	return b.Budgets
+}
+
+// measureAllocsPerOp reports average heap allocations per simulated
+// memory operation for a scenario, after warming caches, freelists, and
+// scratch buffers with warmup operations.
+func measureAllocsPerOp(t *testing.T, rig *allocRig, warmup, batch int) float64 {
+	t.Helper()
+	rig.run(warmup)
+	avg := testing.AllocsPerRun(20, func() { rig.run(batch) })
+	return avg / float64(batch)
+}
+
+// TestBusSteadyStateZeroAlloc is the hard gate: once warm, the bus,
+// coherence, and sim-engine hit paths allocate nothing — zero allocations
+// per operation, not merely few. If this fails, something on a
+// //senss-lint:hotpath route started allocating (or a waiver hid a
+// steady-state allocation the analyzer could not prove away).
+func TestBusSteadyStateZeroAlloc(t *testing.T) {
+	budgets := loadAllocBudgets(t)
+	if want, ok := budgets["bus_steady_state"]; !ok || want != 0 {
+		t.Fatalf("alloc budget for bus_steady_state must be pinned at 0, got %v (present=%v)", want, ok)
+	}
+	rig := startAllocRig(steadyBody, false)
+	defer rig.stop(t)
+	perOp := measureAllocsPerOp(t, rig, 1024, 192)
+	if perOp != 0 {
+		t.Errorf("steady-state allocations = %v per op, want exactly 0 — "+
+			"a hot path regressed; run `make hotpath` and check recent waivers", perOp)
+	}
+}
+
+// TestAllocBudgets pins the deliberately-allocating paths (miss fills,
+// writebacks, the memsec port) to the recorded budgets. Exceeding one
+// means a new allocation crept onto a miss path; deliberate changes must
+// update testdata/alloc_budget.json in the same commit.
+func TestAllocBudgets(t *testing.T) {
+	budgets := loadAllocBudgets(t)
+	scenarios := []struct {
+		name   string
+		secure bool
+		body   func(p *sim.Proc, n *coherence.Node, op int)
+	}{
+		{"coherence_miss_fill", false, missBody},
+		{"memsec_miss_fill", true, missBody},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			want, ok := budgets[sc.name]
+			if !ok {
+				t.Fatalf("no alloc budget recorded for %s", sc.name)
+			}
+			rig := startAllocRig(sc.body, sc.secure)
+			defer rig.stop(t)
+			perOp := measureAllocsPerOp(t, rig, 2048, 256)
+			if perOp > want {
+				t.Errorf("%s allocates %.2f per op, budget %.2f — a miss path grew; "+
+					"if deliberate, update testdata/alloc_budget.json in this commit",
+					sc.name, perOp, want)
+			}
+		})
+	}
+}

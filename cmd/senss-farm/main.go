@@ -11,6 +11,7 @@
 //	senss-farm status -cache-dir .senss-cache -json
 //	senss-farm gc     -cache-dir .senss-cache [-all]
 //	senss-farm bench  -out BENCH_farm.json
+//	senss-farm bench-sim -out BENCH_sim.json
 //	senss-farm lint   -cache-dir .senss-cache [-json]
 //
 // "lint" runs the senss-lint suite through the same content-addressed
@@ -54,6 +55,8 @@ func main() {
 		err = cmdGC(args)
 	case "bench":
 		err = cmdBench(args)
+	case "bench-sim":
+		err = cmdBenchSim(args)
 	case "lint":
 		err = cmdLint(args)
 	case "help", "-h", "-help", "--help":
@@ -72,7 +75,7 @@ func main() {
 func usage(w *os.File) {
 	fmt.Fprint(w, `senss-farm — parallel experiment orchestration with result caching
 
-usage: senss-farm <run|warm|status|gc|bench|lint> [flags]
+usage: senss-farm <run|warm|status|gc|bench|bench-sim|lint> [flags]
 
   run     execute figure sweeps and print their tables
   warm    execute figure sweeps, populating the cache only
@@ -80,6 +83,9 @@ usage: senss-farm <run|warm|status|gc|bench|lint> [flags]
   gc      remove stale/corrupt cache entries (-all wipes everything)
   bench   measure cold serial vs parallel wall-clock for the Figure 6
           sweep and write the BENCH_farm.json trajectory point
+  bench-sim
+          measure raw simulator throughput and allocation rate on the
+          unprotected machine and write the BENCH_sim.json baseline
   lint    run the senss-lint suite content-addressed: verdicts cache
           under a hash of the analyzer set + all sources
 
@@ -358,6 +364,7 @@ type benchReport struct {
 	Benchmark       string  `json:"benchmark"`
 	Date            string  `json:"date"`
 	HostCPUs        int     `json:"host_cpus"`
+	Gomaxprocs      int     `json:"gomaxprocs"`
 	Size            string  `json:"size"`
 	Jobs            int     `json:"jobs"`
 	Workers         int     `json:"workers"`
@@ -383,6 +390,10 @@ func cmdBench(args []string) error {
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr, "bench: warning: GOMAXPROCS=1 — the parallel phase cannot "+
+			"beat serial on this host; read speedup as a ceiling of 1.0, not a regression")
 	}
 
 	// The job set is enumerated once; each phase gets a fresh
@@ -421,6 +432,7 @@ func cmdBench(args []string) error {
 		Benchmark:       "farm-fig6-sweep",
 		Date:            time.Now().UTC().Format(time.RFC3339),
 		HostCPUs:        runtime.NumCPU(),
+		Gomaxprocs:      runtime.GOMAXPROCS(0),
 		Size:            *size,
 		Jobs:            len(jobs),
 		Workers:         w,
@@ -439,6 +451,90 @@ func cmdBench(args []string) error {
 	}
 	fmt.Printf("serial %.2fs, parallel %.2fs (%d workers) = %.2fx, warm replay %.3fs (hit rate %.2f) -> %s\n",
 		report.SerialSeconds, report.ParallelSeconds, w, report.Speedup, report.WarmSeconds, hitRate, *out)
+	return nil
+}
+
+// simBenchReport is the BENCH_sim.json trajectory point: raw substrate
+// throughput (simulated memory operations and cycles per host second) and
+// the host-side allocation rate per simulated operation — the number the
+// hotpath discipline (DESIGN.md section 13) exists to keep down.
+type simBenchReport struct {
+	Benchmark    string  `json:"benchmark"`
+	Date         string  `json:"date"`
+	HostCPUs     int     `json:"host_cpus"`
+	Gomaxprocs   int     `json:"gomaxprocs"`
+	Workload     string  `json:"workload"`
+	Iterations   int     `json:"iterations"`
+	Seconds      float64 `json:"seconds"`
+	SimMemOps    uint64  `json:"sim_mem_ops"`
+	SimCycles    uint64  `json:"sim_cycles"`
+	OpsPerSecond float64 `json:"ops_per_second"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+}
+
+func cmdBenchSim(args []string) error {
+	fs := flag.NewFlagSet("senss-farm bench-sim", flag.ExitOnError)
+	name := fs.String("workload", "ocean", "workload driving the substrate")
+	iters := fs.Int("iters", 5, "measured repetitions")
+	out := fs.String("out", "BENCH_sim.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The throughput baseline runs the unprotected machine at the bench
+	// suite's scale (BenchmarkSimulator in bench_test.go uses the same
+	// geometry), so trajectory points stay comparable across PRs.
+	cfg := senss.DefaultConfig()
+	cfg.Procs = 4
+	cfg.Coherence.L1Size = 4 << 10
+	cfg.Coherence.L2Size = 64 << 10
+	cfg.CPU.CodeBytes = 2 << 10
+
+	fmt.Fprintf(os.Stderr, "bench-sim: warmup (%s)...\n", *name)
+	if _, err := senss.RunWorkload(*name, senss.SizeTest, cfg); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "bench-sim: measuring %d runs...\n", *iters)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	var ops, cycles uint64
+	t0 := time.Now()
+	for i := 0; i < *iters; i++ {
+		run, err := senss.RunWorkload(*name, senss.SizeTest, cfg)
+		if err != nil {
+			return err
+		}
+		ops += run.Loads + run.Stores + run.RMWs
+		cycles += run.Cycles
+	}
+	dur := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+
+	report := simBenchReport{
+		Benchmark:    "sim-throughput",
+		Date:         time.Now().UTC().Format(time.RFC3339),
+		HostCPUs:     runtime.NumCPU(),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
+		Workload:     *name,
+		Iterations:   *iters,
+		Seconds:      dur.Seconds(),
+		SimMemOps:    ops,
+		SimCycles:    cycles,
+		OpsPerSecond: float64(ops) / dur.Seconds(),
+		AllocsPerOp:  float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+		BytesPerOp:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(ops),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%d sim mem ops in %.2fs = %.0f ops/s, %.2f allocs/op, %.1f bytes/op -> %s\n",
+		ops, dur.Seconds(), report.OpsPerSecond, report.AllocsPerOp, report.BytesPerOp, *out)
 	return nil
 }
 

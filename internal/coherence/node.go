@@ -85,6 +85,15 @@ type Node struct {
 	// fillDepth guards against pathological eviction recursion through
 	// protection-layer hook accesses.
 	fillDepth int
+
+	// fillBufs holds one reusable line payload per fill depth, so the
+	// steady state rides the bus without a make([]byte) per miss (hotpath
+	// discipline, DESIGN.md §13). Indexing by depth keeps a recursive
+	// protection-layer fill (hook accesses inside postFill) from
+	// clobbering the outer fill's in-flight payload; one extra slot
+	// covers the hook running at fillDepth == maxFillDepth before the
+	// recursion guard fires.
+	fillBufs [maxFillDepth + 1][]byte
 }
 
 // NewNode builds a node and attaches it to b as a snooper.
@@ -101,23 +110,44 @@ func NewNode(id int, params Params, b *bus.Bus) *Node {
 	return n
 }
 
+//senss-lint:hotpath
 func (n *Node) wordOf(l *cache.Line, addr uint64) uint64 {
 	return mem.ReadWordFromLine(l.Data, addr%uint64(n.Params.L2Line))
 }
 
+//senss-lint:hotpath
 func (n *Node) setWord(l *cache.Line, addr uint64, v uint64) {
 	mem.WriteWordToLine(l.Data, addr%uint64(n.Params.L2Line), v)
 }
 
+// fillData returns the reusable line payload for a fill transaction at
+// the current depth, allocating it on first touch.
+//
+//senss-lint:hotpath
+func (n *Node) fillData() []byte {
+	buf := n.fillBufs[n.fillDepth]
+	if buf == nil {
+		//senss-lint:ignore hotpath first-touch growth: one payload per fill depth, reused for the whole run
+		buf = make([]byte, n.Params.L2Line)
+		n.fillBufs[n.fillDepth] = buf
+	}
+	return buf
+}
+
 // invalidateL1 drops every L1 subline of the L2 line at la (inclusion).
+// The L1s are tag-only, so Drop (no payload copy) is exact.
+//
+//senss-lint:hotpath
 func (n *Node) invalidateL1(la uint64) {
 	for off := 0; off < n.Params.L2Line; off += n.Params.L1Line {
-		n.L1I.Invalidate(la + uint64(off))
-		n.L1D.Invalidate(la + uint64(off))
+		n.L1I.Drop(la + uint64(off))
+		n.L1D.Drop(la + uint64(off))
 	}
 }
 
 // Load performs a data load of the aligned word at addr.
+//
+//senss-lint:hotpath
 func (n *Node) Load(p *sim.Proc, addr uint64) uint64 {
 	n.Stats.Loads++
 	if n.L1D.Lookup(addr) != nil {
@@ -136,6 +166,7 @@ func (n *Node) Load(p *sim.Proc, addr uint64) uint64 {
 		return v
 	}
 	var v uint64
+	//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
 	n.fill(p, addr, bus.Rd, func(l2 *cache.Line) {
 		v = n.wordOf(l2, addr)
 		n.L1D.Insert(addr, cache.Shared)
@@ -146,6 +177,8 @@ func (n *Node) Load(p *sim.Proc, addr uint64) uint64 {
 
 // IFetch models an instruction fetch at addr. L1I hits are free (overlapped
 // with execution); misses go through the normal hierarchy.
+//
+//senss-lint:hotpath
 func (n *Node) IFetch(p *sim.Proc, addr uint64) {
 	n.Stats.IFetches++
 	if n.L1I.Lookup(addr) != nil {
@@ -156,6 +189,7 @@ func (n *Node) IFetch(p *sim.Proc, addr uint64) {
 		p.Sleep(n.Params.L2HitLat)
 		return
 	}
+	//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
 	n.fill(p, addr, bus.Rd, func(l2 *cache.Line) {
 		n.L1I.Insert(addr, cache.Shared)
 	})
@@ -163,21 +197,48 @@ func (n *Node) IFetch(p *sim.Proc, addr uint64) {
 }
 
 // Store performs a data store of the aligned word at addr.
+//
+// The owned fast path commits inline: building the commit closure only
+// on the slow path keeps the steady-state store allocation-free (a
+// closure passed to fill/upgrade escapes into the transaction, so Go
+// heap-allocates it at creation — even when the fast path would never
+// call it).
+//
+//senss-lint:hotpath
 func (n *Node) Store(p *sim.Proc, addr uint64, val uint64) {
 	n.Stats.Stores++
-	n.withModified(p, addr, func(l2 *cache.Line) {
+	l2, owned := n.storeLookup(addr)
+	if owned {
 		n.setWord(l2, addr, val)
-	})
+	} else {
+		//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
+		n.acquireModified(p, addr, l2, func(l2 *cache.Line) {
+			n.setWord(l2, addr, val)
+		})
+	}
 	p.Sleep(n.Params.StoreLat)
 }
 
 // RMW atomically applies f to the word at addr, returning the old value.
 // The mutation commits at the coherence point with the line in M, so it is
 // atomic with respect to every other node.
+//
+//senss-lint:hotpath
 func (n *Node) RMW(p *sim.Proc, addr uint64, f func(uint64) uint64) uint64 {
 	n.Stats.RMWs++
+	l2, owned := n.storeLookup(addr)
+	if owned {
+		// The fast path binds its own old value: a variable captured by
+		// the slow path's escaping closure would be heap-allocated at
+		// declaration, on every call.
+		old := n.wordOf(l2, addr)
+		n.setWord(l2, addr, f(old))
+		p.Sleep(n.Params.StoreLat + n.Params.RMWLat)
+		return old
+	}
 	var old uint64
-	n.withModified(p, addr, func(l2 *cache.Line) {
+	//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
+	n.acquireModified(p, addr, l2, func(l2 *cache.Line) {
 		old = n.wordOf(l2, addr)
 		n.setWord(l2, addr, f(old))
 	})
@@ -185,41 +246,63 @@ func (n *Node) RMW(p *sim.Proc, addr uint64, f func(uint64) uint64) uint64 {
 	return old
 }
 
-// withModified runs commit with addr's line held in Modified state,
-// obtaining ownership as needed.
-func (n *Node) withModified(p *sim.Proc, addr uint64, commit func(l2 *cache.Line)) {
+// storeLookup probes the L2 for write ownership, promoting E to M in
+// place (silent upgrade). It returns (line, true) when the caller may
+// commit directly, (line, false) for a Shared/Owned copy that needs a
+// bus upgrade, and (nil, false) on a miss.
+//
+//senss-lint:hotpath
+func (n *Node) storeLookup(addr uint64) (*cache.Line, bool) {
 	l2 := n.L2.Lookup(addr)
+	if l2 == nil {
+		return nil, false
+	}
+	switch l2.State {
+	case cache.Modified:
+		return l2, true
+	case cache.Exclusive:
+		l2.State = cache.Modified
+		return l2, true
+	case cache.Shared, cache.Owned:
+		return l2, false
+	default:
+		panic("coherence: invalid state in storeLookup")
+	}
+}
+
+// acquireModified obtains addr's line in Modified state the slow way —
+// a full RdX fill on a miss, a BusUpgr for the Shared/Owned copy l2 —
+// and runs commit at the coherence point.
+//
+//senss-lint:hotpath
+func (n *Node) acquireModified(p *sim.Proc, addr uint64, l2 *cache.Line, commit func(l2 *cache.Line)) {
 	if l2 == nil {
 		n.fill(p, addr, bus.RdX, commit)
 		p.Sleep(n.Params.L1HitLat + n.Params.L2HitLat)
 		return
 	}
-	switch l2.State {
-	case cache.Modified:
-		commit(l2)
-	case cache.Exclusive:
-		l2.State = cache.Modified
-		commit(l2)
-	case cache.Shared, cache.Owned:
-		n.upgrade(p, addr, commit)
-	default:
-		panic("coherence: invalid state in withModified")
-	}
+	n.upgrade(p, addr, commit)
 }
 
 // upgrade converts a Shared/Owned copy to Modified with a BusUpgr,
 // degrading to a full RdX if the copy is lost while waiting for the bus.
+//
+//senss-lint:hotpath
 func (n *Node) upgrade(p *sim.Proc, addr uint64, commit func(l2 *cache.Line)) {
 	la := n.L2.LineAddr(addr)
+	//senss-lint:ignore hotpath upgrades leave the steady state by definition; transaction pooling is ROADMAP-3 work
 	t := &bus.Transaction{Kind: bus.Upgr, Addr: la, Src: n.ID, GID: n.GID}
 	var victim *cache.Victim
+	//senss-lint:ignore hotpath bus-callback closure; transaction pooling is ROADMAP-3 work
 	t.PreSnoop = func(t *bus.Transaction) {
 		if n.L2.Peek(addr) == nil {
 			// A queued RdX stole the line while we waited: fetch it.
 			n.Stats.UpgrRaces++
 			t.Kind = bus.RdX
+			t.Data = n.fillData()
 		}
 	}
+	//senss-lint:ignore hotpath bus-callback closure; transaction pooling is ROADMAP-3 work
 	t.OnData = func(t *bus.Transaction) {
 		if t.Kind == bus.Upgr {
 			cur := n.L2.Peek(addr)
@@ -237,11 +320,17 @@ func (n *Node) upgrade(p *sim.Proc, addr uint64, commit func(l2 *cache.Line)) {
 }
 
 // fill acquires the line containing addr with a Rd or RdX, committing the
-// insertion and the caller's action atomically at the bus grant.
+// insertion and the caller's action atomically at the bus grant. The
+// payload rides in the node's per-depth reusable buffer; commitFill
+// copies it into the L2 frame before the transaction returns.
+//
+//senss-lint:hotpath
 func (n *Node) fill(p *sim.Proc, addr uint64, kind bus.Kind, commit func(l2 *cache.Line)) {
 	la := n.L2.LineAddr(addr)
-	t := &bus.Transaction{Kind: kind, Addr: la, Src: n.ID, GID: n.GID}
+	//senss-lint:ignore hotpath per-miss transaction header; pooling is ROADMAP-3 work
+	t := &bus.Transaction{Kind: kind, Addr: la, Src: n.ID, GID: n.GID, Data: n.fillData()}
 	var victim *cache.Victim
+	//senss-lint:ignore hotpath bus-callback closure; transaction pooling is ROADMAP-3 work
 	t.OnData = func(t *bus.Transaction) {
 		victim = n.commitFill(t, commit)
 	}
@@ -255,6 +344,8 @@ const maxFillDepth = 24
 // commitFill inserts the fetched line (state per MOESI), commits the
 // caller's action, and commits any dirty victim's bytes to memory. It runs
 // at the coherence point (bus held).
+//
+//senss-lint:hotpath
 func (n *Node) commitFill(t *bus.Transaction, commit func(l2 *cache.Line)) *cache.Victim {
 	state := cache.Modified
 	if t.Kind == bus.Rd {
@@ -280,29 +371,39 @@ func (n *Node) commitFill(t *bus.Transaction, commit func(l2 *cache.Line)) *cach
 
 // postFill runs the protection hooks and the victim's timing writeback
 // after the fill transaction completed (bus released).
+//
+//senss-lint:hotpath
 func (n *Node) postFill(p *sim.Proc, t *bus.Transaction, victim *cache.Victim) {
 	if n.fillDepth >= maxFillDepth {
 		panic("coherence: fill recursion too deep (protection-layer loop?)")
 	}
+	// Balanced explicitly at the end rather than by a deferred closure:
+	// postFill has no early returns, and a per-call defer has no place on
+	// the miss path.
 	n.fillDepth++
-	defer func() { n.fillDepth-- }()
 
 	if t.SupplierID == bus.MemorySupplier && (t.Kind == bus.Rd || t.Kind == bus.RdX) && n.Hooks != nil {
+		//senss-lint:ignore hotpath hook fan-out reaches config-dependent protection rigs; the production layers are hot-annotated where it counts
 		n.Hooks.AfterMemoryFill(p, n, t)
 	}
 	if victim != nil {
+		//senss-lint:ignore hotpath per-eviction writeback header; pooling is ROADMAP-3 work
 		wb := &bus.Transaction{
 			Kind: bus.WB, Addr: victim.Addr, Src: n.ID, GID: n.GID,
 			Data: victim.Data, Committed: true,
 		}
 		n.Bus.Transact(p, wb)
 		if n.Hooks != nil {
+			//senss-lint:ignore hotpath hook fan-out reaches config-dependent protection rigs; the production layers are hot-annotated where it counts
 			n.Hooks.AfterWriteBack(p, n, victim.Addr, victim.Data)
 		}
 	}
+	n.fillDepth--
 }
 
 // SnoopBus implements bus.Snooper: the MOESI snoop side.
+//
+//senss-lint:hotpath
 func (n *Node) SnoopBus(t *bus.Transaction) {
 	if t.Src == n.ID {
 		return
@@ -338,7 +439,10 @@ func (n *Node) SnoopBus(t *bus.Transaction) {
 		if n.FaultSkipInvalidate {
 			return
 		}
-		n.L2.Invalidate(t.Addr)
+		// Drop, not Invalidate: the requester now owns the only live copy
+		// (supplied above when we held it dirty), so the local payload is
+		// dead and the defensive copy would be thrown away.
+		n.L2.Drop(t.Addr)
 		n.invalidateL1(t.Addr)
 	case bus.Upgr:
 		if n.L2.Peek(t.Addr) == nil {
@@ -347,8 +451,9 @@ func (n *Node) SnoopBus(t *bus.Transaction) {
 		if n.FaultSkipInvalidate {
 			return
 		}
-		// The upgrader holds valid data; every other copy dies.
-		n.L2.Invalidate(t.Addr)
+		// The upgrader holds valid data; every other copy dies. Drop
+		// discards the local payload without the defensive copy.
+		n.L2.Drop(t.Addr)
 		n.invalidateL1(t.Addr)
 	case bus.WB, bus.Auth, bus.PadInv, bus.PadReq, bus.PadUpd:
 		// No cache-state effect; the SENSS and memsec layers observe these
@@ -359,6 +464,8 @@ func (n *Node) SnoopBus(t *bus.Transaction) {
 // supply copies the snooped line into the transaction as a cache-to-cache
 // transfer. With MOESI at most one M/O/E holder exists, so there is never
 // a second supplier.
+//
+//senss-lint:hotpath
 func (n *Node) supply(t *bus.Transaction, l *cache.Line) {
 	if t.SupplierID != bus.MemorySupplier {
 		panic(fmt.Sprintf("coherence: two suppliers for %#x", t.Addr))
@@ -369,14 +476,18 @@ func (n *Node) supply(t *bus.Transaction, l *cache.Line) {
 
 // LoadLine reads a whole-line copy through the L2 (bypassing L1 — used by
 // the integrity layer for hash-tree nodes, which the paper keeps in L2).
+//
+//senss-lint:hotpath
 func (n *Node) LoadLine(p *sim.Proc, addr uint64) []byte {
 	la := n.L2.LineAddr(addr)
+	//senss-lint:ignore hotpath the returned line copy crosses the API boundary; the integrity layer owns it
 	out := make([]byte, n.Params.L2Line)
 	if l2 := n.L2.Lookup(la); l2 != nil {
 		copy(out, l2.Data)
 		p.Sleep(n.Params.L2HitLat)
 		return out
 	}
+	//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
 	n.fill(p, la, bus.Rd, func(l2 *cache.Line) {
 		copy(out, l2.Data)
 	})
@@ -387,15 +498,23 @@ func (n *Node) LoadLine(p *sim.Proc, addr uint64) []byte {
 // StoreBlock writes len(data) bytes at addr (contained in one line) under a
 // single ownership acquisition — used by the integrity layer to patch a
 // child's hash tag inside its parent tree node.
+//
+//senss-lint:hotpath
 func (n *Node) StoreBlock(p *sim.Proc, addr uint64, data []byte) {
 	off := addr % uint64(n.Params.L2Line)
 	if int(off)+len(data) > n.Params.L2Line {
 		panic("coherence: StoreBlock crosses a line boundary")
 	}
 	n.Stats.Stores++
-	n.withModified(p, addr, func(l2 *cache.Line) {
+	l2, owned := n.storeLookup(addr)
+	if owned {
 		copy(l2.Data[off:], data)
-	})
+	} else {
+		//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
+		n.acquireModified(p, addr, l2, func(l2 *cache.Line) {
+			copy(l2.Data[off:], data)
+		})
+	}
 	p.Sleep(n.Params.StoreLat)
 }
 

@@ -28,6 +28,8 @@ type Block [BlockSize]byte
 
 // XOR returns b ⊕ o. This is the one-cycle OTP operation of the SENSS
 // bus-encryption datapath.
+//
+//senss-lint:hotpath
 func (b Block) XOR(o Block) Block {
 	var r Block
 	for i := range b {
@@ -53,6 +55,8 @@ func (b Block) String() string {
 
 // BlockFromUint64 packs two 64-bit words big-endian into a block.
 // Handy for folding PIDs and counters into cipher inputs.
+//
+//senss-lint:hotpath
 func BlockFromUint64(hi, lo uint64) Block {
 	var b Block
 	binary.BigEndian.PutUint64(b[0:8], hi)
@@ -96,6 +100,7 @@ func init() {
 
 // xtime multiplies by x (i.e., {02}) in GF(2^8) with the AES polynomial.
 //
+//senss-lint:hotpath
 //senss-lint:ignore taintflow reference AES is table- and branch-based by design; a constant-time (bitsliced) implementation is out of scope, and the simulator never runs against live adversaries (DESIGN §12)
 func xtime(b byte) byte {
 	if b&0x80 != 0 {
@@ -105,6 +110,8 @@ func xtime(b byte) byte {
 }
 
 // gmul multiplies a by b in GF(2^8).
+//
+//senss-lint:hotpath
 func gmul(a, b byte) byte {
 	var p byte
 	for b != 0 {
@@ -190,6 +197,7 @@ func invMixColumnWord(w uint32) uint32 {
 	return binary.BigEndian.Uint32(out[:])
 }
 
+//senss-lint:hotpath
 func mixColumn(col [4]byte) [4]byte {
 	return [4]byte{
 		gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3],
@@ -212,6 +220,7 @@ func invMixColumn(col [4]byte) [4]byte {
 // in column order (as FIPS-197 loads it).
 type state [16]byte
 
+//senss-lint:hotpath
 func (s *state) addRoundKey(rk []uint32) {
 	for c := 0; c < 4; c++ {
 		w := rk[c]
@@ -222,6 +231,7 @@ func (s *state) addRoundKey(rk []uint32) {
 	}
 }
 
+//senss-lint:hotpath
 func (s *state) subBytes() {
 	for i := range s {
 		s[i] = sbox[s[i]]
@@ -235,6 +245,8 @@ func (s *state) invSubBytes() {
 }
 
 // shiftRows rotates row r left by r. Row r lives at indices r, r+4, r+8, r+12.
+//
+//senss-lint:hotpath
 func (s *state) shiftRows() {
 	s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
 	s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
@@ -247,6 +259,7 @@ func (s *state) invShiftRows() {
 	s[3], s[7], s[11], s[15] = s[7], s[11], s[15], s[3]
 }
 
+//senss-lint:hotpath
 func (s *state) mixColumns() {
 	for c := 0; c < 4; c++ {
 		col := [4]byte{s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]}
@@ -264,6 +277,8 @@ func (s *state) invMixColumns() {
 }
 
 // Encrypt computes the AES-128 encryption of src.
+//
+//senss-lint:hotpath
 func (c *Cipher) Encrypt(src Block) Block {
 	var s state
 	copy(s[:], src[:])

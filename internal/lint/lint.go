@@ -161,6 +161,7 @@ func Registry() []*Analyzer {
 		AnalyzerCycleAcct(),
 		AnalyzerDroppedErr(),
 		AnalyzerTaintflow(),
+		AnalyzerHotpath(),
 	}
 }
 

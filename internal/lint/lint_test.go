@@ -121,6 +121,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"dropped", lint.AnalyzerDroppedErr()},
 		{"suppress", lint.AnalyzerDroppedErr()},
 		{"taint", lint.AnalyzerTaintflow()},
+		{"hotpath", lint.AnalyzerHotpath()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -241,6 +242,39 @@ func TestContentHash(t *testing.T) {
 	}
 	if h3 == h1 {
 		t.Error("hash ignores the analyzer set")
+	}
+
+	// The senss-farm lint cache keys on the registry names, so adding an
+	// analyzer (hotpath, PR 6) must invalidate old cache entries: the
+	// registry must carry the new name, and a hash over the full registry
+	// must differ from one missing it.
+	var names []string
+	hasHotpath := false
+	for _, a := range lint.Registry() {
+		names = append(names, a.Name)
+		if a.Name == "hotpath" {
+			hasHotpath = true
+		}
+	}
+	if !hasHotpath {
+		t.Fatal("registry does not include hotpath; farm lint caching would miss it")
+	}
+	hFull, err := lint.ContentHash(names, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var without []string
+	for _, n := range names {
+		if n != "hotpath" {
+			without = append(without, n)
+		}
+	}
+	hWithout, err := lint.ContentHash(without, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hFull == hWithout {
+		t.Error("hash insensitive to the hotpath analyzer; stale farm cache entries would be reused")
 	}
 }
 

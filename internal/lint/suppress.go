@@ -37,7 +37,10 @@ func nameListHas(names []string, a string) bool {
 //
 // is not a suppression at all: placed on a struct field it marks the field
 // as a taint origin for the taintflow analyzer (see taintflow.go), so it
-// is accepted here without complaint.
+// is accepted here without complaint. Likewise //senss-lint:hotpath (bare)
+// and //senss-lint:coldpath <reason> annotate functions for the hotpath
+// analyzer (see hotpath.go); coldpath waives the allocation discipline for
+// a whole function, so its written reason is mandatory and enforced here.
 const directivePrefix = "senss-lint:"
 
 type supEntry struct {
@@ -121,10 +124,26 @@ func collectSuppressions(pkg *Package, known map[string]bool) *suppressions {
 					// A taint-origin annotation, consumed by taintflow.
 					continue
 				}
+				if len(fields) > 0 && fields[0] == "hotpath" {
+					// A hot-path annotation, consumed by the hotpath
+					// analyzer; trailing words are commentary.
+					continue
+				}
+				if len(fields) > 0 && fields[0] == "coldpath" {
+					if len(fields) < 2 {
+						// coldpath exempts a whole function from the
+						// allocation discipline: the reason is mandatory.
+						s.problems = append(s.problems, Diagnostic{
+							Analyzer: "lintdirective", Pos: pos,
+							Message: "senss-lint:coldpath needs a written reason (why is this function off the hot path?)",
+						})
+					}
+					continue
+				}
 				if len(fields) == 0 || (fields[0] != "ignore" && fields[0] != "file-ignore") {
 					s.problems = append(s.problems, Diagnostic{
 						Analyzer: "lintdirective", Pos: pos,
-						Message: "malformed senss-lint directive: want ignore, file-ignore, or secret",
+						Message: "malformed senss-lint directive: want ignore, file-ignore, secret, hotpath, or coldpath",
 					})
 					continue
 				}

@@ -14,6 +14,12 @@ package lint
 //   - a call to a function named Zero/Zeroize/zeroize/Wipe/wipe with the
 //     secret as an argument or receiver (ct.Zero and the tree's existing
 //     zeroize helpers both match);
+//   - the clear(secret) builtin (Go 1.21+), which zeroes every element;
+//   - copy(secret, zeroSrc) from a full-length zero source: either
+//     make([]T, len(secret)) — freshly zeroed at exactly the right
+//     length — or a buffer following the zero-naming convention
+//     (an identifier or field containing "zero"), whose sizing the
+//     surrounding code owns;
 //   - `for i := range secret { secret[i] = 0 }`;
 //   - the counted form, `for i := 0; i < len(secret); i++ { secret[i] = 0 }`;
 //   - assignment of an empty composite literal (secret = T{});
@@ -29,6 +35,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // acquiredSecret is one tracked (object, origin) pair in a function body.
@@ -152,12 +159,16 @@ func (zw *zeroWalker) mentions(e ast.Node) bool {
 }
 
 // isZeroizeCall recognizes a call erasing the secret: a function named
-// like an eraser whose receiver or arguments mention the secret.
+// like an eraser whose receiver or arguments mention the secret, or one
+// of the builtin erasure forms (clear, full-length copy from zeros).
 func (zw *zeroWalker) isZeroizeCall(call *ast.CallExpr) bool {
 	var name string
 	var recv ast.Expr
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
+		if b, ok := zw.info().Uses[fun].(*types.Builtin); ok {
+			return zw.isBuiltinErase(b.Name(), call)
+		}
 		name = fun.Name
 	case *ast.SelectorExpr:
 		name = fun.Sel.Name
@@ -175,6 +186,49 @@ func (zw *zeroWalker) isZeroizeCall(call *ast.CallExpr) bool {
 		if zw.mentions(a) {
 			return true
 		}
+	}
+	return false
+}
+
+// isBuiltinErase recognizes the builtin erasure forms: clear(secret),
+// which zeroes every element in place, and copy(secret, src) with a
+// full-length zero source. A copy from anything else — including the
+// secret itself (copy(secret, secret[8:])) — is data movement, not
+// erasure, and isZeroSource rejects it.
+func (zw *zeroWalker) isBuiltinErase(name string, call *ast.CallExpr) bool {
+	switch name {
+	case "clear":
+		return len(call.Args) == 1 && zw.mentions(call.Args[0])
+	case "copy":
+		return len(call.Args) == 2 && zw.mentions(call.Args[0]) && zw.isZeroSource(call.Args[1])
+	}
+	return false
+}
+
+// isZeroSource reports whether e is demonstrably an all-zero source for
+// the secret's full length: make([]T, len(secret)) is structurally both,
+// and a buffer following the zero-naming convention (an identifier or
+// field whose name contains "zero") is accepted with sizing owned by the
+// surrounding code.
+func (zw *zeroWalker) isZeroSource(e ast.Expr) bool {
+	switch src := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(src.Name), "zero")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(src.Sel.Name), "zero")
+	case *ast.SliceExpr:
+		return zw.isZeroSource(src.X)
+	case *ast.CallExpr:
+		fn, ok := ast.Unparen(src.Fun).(*ast.Ident)
+		if !ok || fn.Name != "make" || len(src.Args) < 2 {
+			return false
+		}
+		ln, ok := ast.Unparen(src.Args[1]).(*ast.CallExpr)
+		if !ok || len(ln.Args) != 1 || !zw.mentions(ln.Args[0]) {
+			return false
+		}
+		lf, ok := ast.Unparen(ln.Fun).(*ast.Ident)
+		return ok && lf.Name == "len"
 	}
 	return false
 }

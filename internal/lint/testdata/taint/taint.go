@@ -124,3 +124,47 @@ func CleanZeroize(data []byte) ([]byte, error) {
 	}
 	return out, nil
 }
+
+// CleanClearZeroize erases with the clear builtin on both paths; the
+// Go 1.21 idiom must count as erasure just like a named wipe helper.
+func CleanClearZeroize(data []byte) ([]byte, error) {
+	key := unwrapSessionKey()
+	out, err := seal(data, key)
+	if err != nil {
+		clear(key)
+		return nil, err
+	}
+	clear(key)
+	return out, nil
+}
+
+// zeroLine is the conventional all-zero copy source; the name is what
+// the copy-erasure rule keys on.
+var zeroLine [64]byte
+
+// CleanCopyZeroize erases by full-length copy from a zero source: the
+// error path uses the structural make([]T, len(key)) form, the happy
+// path the named zero-buffer convention.
+func CleanCopyZeroize(data []byte) ([]byte, error) {
+	key := unwrapSessionKey()
+	out, err := seal(data, key)
+	if err != nil {
+		copy(key, make([]byte, len(key)))
+		return nil, err
+	}
+	copy(key, zeroLine[:])
+	return out, nil
+}
+
+// LeakCopyNotZero clears the happy path but "erases" the error path by
+// copying from a live scratch buffer — data movement, not erasure.
+func LeakCopyNotZero(data, scratch []byte) ([]byte, error) {
+	key := unwrapSessionKey()
+	out, err := seal(data, key)
+	if err != nil {
+		copy(key, scratch)
+		return nil, err // want `not zeroized on this return path`
+	}
+	clear(key)
+	return out, nil
+}

@@ -286,10 +286,12 @@ type integrityPort struct {
 	inner bus.MemoryPort
 }
 
+//senss-lint:hotpath
 func (p *integrityPort) Fetch(t *bus.Transaction, dst []byte) uint64 {
 	return p.inner.Fetch(t, dst)
 }
 
+//senss-lint:hotpath
 func (p *integrityPort) Store(t *bus.Transaction, src []byte) uint64 {
 	if p.m.Tree != nil {
 		p.m.Tree.BeginUpdate(t.Addr)

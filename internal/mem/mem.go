@@ -38,13 +38,18 @@ func New() *Store {
 }
 
 // LineAddr returns the line-aligned address containing addr.
+//
+//senss-lint:hotpath
 func LineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }
 
 // line returns the line containing addr, allocating it zeroed on demand.
+//
+//senss-lint:hotpath
 func (s *Store) line(addr uint64) *Line {
 	la := LineAddr(addr)
 	l, ok := s.lines[la]
 	if !ok {
+		//senss-lint:ignore hotpath first-touch growth: each line is allocated once, then reused for the run
 		l = new(Line)
 		s.lines[la] = l
 	}
@@ -52,6 +57,8 @@ func (s *Store) line(addr uint64) *Line {
 }
 
 // ReadLine copies the line containing addr into dst.
+//
+//senss-lint:hotpath
 func (s *Store) ReadLine(addr uint64, dst []byte) {
 	if len(dst) != LineSize {
 		panic(fmt.Sprintf("mem: ReadLine dst size %d", len(dst)))
@@ -61,6 +68,8 @@ func (s *Store) ReadLine(addr uint64, dst []byte) {
 }
 
 // WriteLine overwrites the line containing addr with src.
+//
+//senss-lint:hotpath
 func (s *Store) WriteLine(addr uint64, src []byte) {
 	if len(src) != LineSize {
 		panic(fmt.Sprintf("mem: WriteLine src size %d", len(src)))
@@ -120,6 +129,8 @@ func checkAlign(addr uint64) {
 
 // ReadWordFromLine extracts the little-endian word at byte offset off of a
 // line buffer. Shared helper for caches and nodes.
+//
+//senss-lint:hotpath
 func ReadWordFromLine(line []byte, off uint64) uint64 {
 	var v uint64
 	for i := 0; i < WordSize; i++ {
@@ -130,6 +141,8 @@ func ReadWordFromLine(line []byte, off uint64) uint64 {
 
 // WriteWordToLine stores a little-endian word at byte offset off of a line
 // buffer.
+//
+//senss-lint:hotpath
 func WriteWordToLine(line []byte, off uint64, v uint64) {
 	for i := 0; i < WordSize; i++ {
 		line[off+uint64(i)] = byte(v >> (8 * i))

@@ -27,15 +27,27 @@ type event struct {
 // eventHeap orders events by (cycle, insertion sequence).
 type eventHeap []*event
 
+//senss-lint:hotpath
 func (h eventHeap) Len() int { return len(h) }
+
+//senss-lint:hotpath
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
+
+//senss-lint:hotpath
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+
+//senss-lint:hotpath
+func (h *eventHeap) Push(x any) {
+	//senss-lint:ignore hotpath amortized growth: the heap reaches steady-state capacity after warmup
+	*h = append(*h, x.(*event))
+}
+
+//senss-lint:hotpath
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -50,6 +62,10 @@ type Engine struct {
 	now    uint64
 	seq    uint64
 	events eventHeap
+	// free recycles event records: the steady state schedules and retires
+	// one event per Sleep/Unpark, so without a freelist every simulated
+	// cycle heap-allocates (hotpath discipline, DESIGN.md §13).
+	free []*event
 	// yield receives control back from the currently running proc.
 	yield   chan struct{}
 	live    int // procs spawned and not yet finished
@@ -58,21 +74,50 @@ type Engine struct {
 	haltMsg string
 }
 
+// newEvent pops a recycled event record or allocates a fresh one.
+//
+//senss-lint:hotpath
+func (e *Engine) newEvent(at, seq uint64, fn func(), proc *Proc) *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.proc = at, seq, fn, proc
+		return ev
+	}
+	//senss-lint:ignore hotpath first-touch growth: the freelist feeds every later steady-state event
+	return &event{at: at, seq: seq, fn: fn, proc: proc}
+}
+
+// releaseEvent returns a retired event record to the freelist. The caller
+// must not hold any reference to ev afterwards.
+//
+//senss-lint:hotpath
+func (e *Engine) releaseEvent(ev *event) {
+	ev.fn, ev.proc = nil, nil
+	//senss-lint:ignore hotpath amortized growth: the freelist reaches steady-state capacity after warmup
+	e.free = append(e.free, ev)
+}
+
 // NewEngine returns an empty engine at cycle 0.
 func NewEngine() *Engine {
 	return &Engine{yield: make(chan struct{})}
 }
 
 // Now returns the current simulated cycle.
+//
+//senss-lint:hotpath
 func (e *Engine) Now() uint64 { return e.now }
 
 // Schedule runs fn in engine context at absolute cycle at (>= Now).
+//
+//senss-lint:hotpath
 func (e *Engine) Schedule(at uint64, fn func()) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	heap.Push(&e.events, e.newEvent(at, e.seq, fn, nil))
 }
 
 // After runs fn in engine context after delay cycles.
@@ -105,6 +150,8 @@ func (p *Proc) Name() string { return p.name }
 func (p *Proc) Engine() *Engine { return p.e }
 
 // Now returns the current simulated cycle.
+//
+//senss-lint:hotpath
 func (p *Proc) Now() uint64 { return p.e.now }
 
 // Spawn creates a proc running fn, started at the current cycle (after
@@ -125,6 +172,8 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // resume hands the run token to p and waits for it to come back. Engine
 // context only.
+//
+//senss-lint:hotpath
 func (e *Engine) resume(p *Proc) {
 	if p.done {
 		panic(fmt.Sprintf("sim: resuming finished proc %q", p.name))
@@ -136,16 +185,20 @@ func (e *Engine) resume(p *Proc) {
 
 // Sleep suspends the proc for d simulated cycles (0 means yield to other
 // events at this cycle).
+//
+//senss-lint:hotpath
 func (p *Proc) Sleep(d uint64) {
 	e := p.e
 	e.seq++
-	heap.Push(&e.events, &event{at: e.now + d, seq: e.seq, proc: p})
+	heap.Push(&e.events, e.newEvent(e.now+d, e.seq, nil, p))
 	e.yield <- struct{}{}
 	<-p.wake
 }
 
 // Park suspends the proc indefinitely; another party must wake it via a
 // Queue or Engine.Unpark.
+//
+//senss-lint:hotpath
 func (p *Proc) Park() {
 	p.parked = true
 	p.e.yield <- struct{}{}
@@ -154,9 +207,11 @@ func (p *Proc) Park() {
 
 // Unpark schedules parked proc q to resume at the current cycle. It may be
 // called from engine context or from another running proc.
+//
+//senss-lint:hotpath
 func (e *Engine) Unpark(q *Proc) {
 	e.seq++
-	heap.Push(&e.events, &event{at: e.now, seq: e.seq, proc: q})
+	heap.Push(&e.events, e.newEvent(e.now, e.seq, nil, q))
 }
 
 // DeadlockError reports that no events remain while procs are still alive.
@@ -183,6 +238,8 @@ func (e *Engine) SetLimit(limit uint64) { e.limit = limit }
 // Run processes events until none remain or the engine halts. It returns a
 // *DeadlockError if procs are still alive with an empty event queue, and a
 // *LimitError if the cycle limit is exceeded.
+//
+//senss-lint:hotpath
 func (e *Engine) Run() error {
 	for len(e.events) > 0 {
 		if e.halted {
@@ -194,20 +251,30 @@ func (e *Engine) Run() error {
 		}
 		e.now = ev.at
 		if e.limit != 0 && e.now > e.limit {
+			//senss-lint:ignore hotpath failure path: the run is over, one error record is fine
 			return &LimitError{Limit: e.limit}
 		}
-		if ev.proc != nil {
-			e.resume(ev.proc)
+		// Recycle the record before dispatch: nothing references it once
+		// popped, and the dispatched proc/fn may schedule new events that
+		// want it back.
+		proc, fn := ev.proc, ev.fn
+		e.releaseEvent(ev)
+		if proc != nil {
+			e.resume(proc)
 		} else {
-			ev.fn()
+			fn()
 		}
 	}
 	if e.live > 0 {
+		//senss-lint:ignore hotpath failure path: the run is over, one error record is fine
 		return &DeadlockError{Cycle: e.now, Parked: e.parkedNames()}
 	}
 	return nil
 }
 
+// parkedNames describes the still-live procs for the deadlock report.
+//
+//senss-lint:coldpath deadlock diagnostics: runs once, after the simulation is already dead
 func (e *Engine) parkedNames() []string {
 	// The engine does not keep a registry of procs; deadlock is rare and
 	// diagnostic-only, so report the count when names are unavailable.
@@ -221,15 +288,22 @@ type Queue struct {
 }
 
 // Wait appends the calling proc and parks it until woken.
+//
+//senss-lint:hotpath
 func (q *Queue) Wait(p *Proc) {
+	//senss-lint:ignore hotpath amortized growth: the waiter list reaches steady-state capacity after warmup
 	q.waiters = append(q.waiters, p)
 	p.Park()
 }
 
 // Len returns the number of parked waiters.
+//
+//senss-lint:hotpath
 func (q *Queue) Len() int { return len(q.waiters) }
 
 // WakeOne unparks the oldest waiter, if any, and reports whether one existed.
+//
+//senss-lint:hotpath
 func (q *Queue) WakeOne(e *Engine) bool {
 	if len(q.waiters) == 0 {
 		return false
@@ -242,6 +316,8 @@ func (q *Queue) WakeOne(e *Engine) bool {
 }
 
 // WakeAll unparks every waiter in FIFO order.
+//
+//senss-lint:hotpath
 func (q *Queue) WakeAll(e *Engine) {
 	for _, p := range q.waiters {
 		e.Unpark(p)
@@ -256,6 +332,8 @@ type Mutex struct {
 }
 
 // Lock acquires the mutex, parking the proc until it is granted.
+//
+//senss-lint:hotpath
 func (m *Mutex) Lock(p *Proc) {
 	for m.held {
 		m.q.Wait(p)
@@ -264,6 +342,8 @@ func (m *Mutex) Lock(p *Proc) {
 }
 
 // Unlock releases the mutex and wakes the next waiter.
+//
+//senss-lint:hotpath
 func (m *Mutex) Unlock(p *Proc) {
 	if !m.held {
 		panic("sim: unlock of unlocked mutex")
