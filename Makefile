@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint taintflow hotpath race farm-race oracle fuzz-smoke figures bench-sim verify clean
+.PHONY: all build test vet lint taintflow hotpath race farm-race oracle fuzz-smoke figures bench-sim bench-crypto speed-smoke verify clean
 
 all: verify
 
@@ -66,9 +66,21 @@ figures: build
 bench-sim: build
 	$(GO) run ./cmd/senss-farm bench-sim
 
+# bench-crypto records the crypto-backend trajectory point (block
+# encrypt, pad stream, CBC-MAC, and end-to-end secured throughput per
+# backend, plus the stdlib/ref speedup) in BENCH_crypto.json.
+bench-crypto: build
+	$(GO) run ./cmd/senss-speed
+
+# speed-smoke is the cheap senss-speed invocation verify runs: quick
+# intervals, output to a scratch file, but the full backend sweep and the
+# cross-backend cycle-identity gate still execute.
+speed-smoke: build
+	$(GO) run ./cmd/senss-speed -quick -out /tmp/senss-speed-smoke.json
+
 # verify is the full pre-merge gate: everything CI runs, in order of
 # increasing cost.
-verify: build vet lint test farm-race race oracle fuzz-smoke
+verify: build vet lint test farm-race race oracle speed-smoke fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,7 @@ import (
 
 	"senss/internal/bus"
 	"senss/internal/coherence"
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/mem"
 	"senss/internal/memsec"
@@ -35,9 +36,10 @@ type allocRig struct {
 }
 
 // startAllocRig builds a one-node machine (small caches so miss scenarios
-// stay cheap) and parks a driver proc executing body per operation. With
-// secure set, the memory port is the memsec encryption layer.
-func startAllocRig(body func(p *sim.Proc, n *coherence.Node, op int), secure bool) *allocRig {
+// stay cheap) and parks a driver proc executing body per operation. A
+// non-empty backend makes the memory port the memsec encryption layer
+// running that crypto backend.
+func startAllocRig(body func(p *sim.Proc, n *coherence.Node, op int), backend string) *allocRig {
 	params := coherence.Params{
 		L1Size: 4 << 10, L1Ways: 2, L1Line: 32,
 		L2Size: 16 << 10, L2Ways: 4, L2Line: 64,
@@ -50,9 +52,9 @@ func startAllocRig(body func(p *sim.Proc, n *coherence.Node, op int), secure boo
 	eng := sim.NewEngine()
 	store := mem.New()
 	var port bus.MemoryPort = &bus.SimpleMemory{Backing: store}
-	if secure {
+	if backend != "" {
 		r := rng.New(7)
-		port = memsec.New(store, aes.Block(r.Block16()), 1,
+		port = memsec.New(store, crypto.MustBackend(backend, aes.Block(r.Block16())), 1,
 			memsec.Params{AESLatency: 80, PerfectSNC: true, PadEntries: 8192})
 	}
 	b := bus.New(eng, timing, port)
@@ -155,7 +157,7 @@ func TestBusSteadyStateZeroAlloc(t *testing.T) {
 	if want, ok := budgets["bus_steady_state"]; !ok || want != 0 {
 		t.Fatalf("alloc budget for bus_steady_state must be pinned at 0, got %v (present=%v)", want, ok)
 	}
-	rig := startAllocRig(steadyBody, false)
+	rig := startAllocRig(steadyBody, "")
 	defer rig.stop(t)
 	perOp := measureAllocsPerOp(t, rig, 1024, 192)
 	if perOp != 0 {
@@ -171,20 +173,24 @@ func TestBusSteadyStateZeroAlloc(t *testing.T) {
 func TestAllocBudgets(t *testing.T) {
 	budgets := loadAllocBudgets(t)
 	scenarios := []struct {
-		name   string
-		secure bool
-		body   func(p *sim.Proc, n *coherence.Node, op int)
+		name    string
+		budget  string
+		backend string // "" = insecure port, otherwise the memsec crypto backend
+		body    func(p *sim.Proc, n *coherence.Node, op int)
 	}{
-		{"coherence_miss_fill", false, missBody},
-		{"memsec_miss_fill", true, missBody},
+		{"coherence_miss_fill", "coherence_miss_fill", "", missBody},
+		// The memsec budget must hold under every registered crypto
+		// backend: the pad kernel is the same hotpath either way.
+		{"memsec_miss_fill_ref", "memsec_miss_fill", crypto.Ref, missBody},
+		{"memsec_miss_fill_stdlib", "memsec_miss_fill", crypto.Stdlib, missBody},
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {
-			want, ok := budgets[sc.name]
+			want, ok := budgets[sc.budget]
 			if !ok {
-				t.Fatalf("no alloc budget recorded for %s", sc.name)
+				t.Fatalf("no alloc budget recorded for %s", sc.budget)
 			}
-			rig := startAllocRig(sc.body, sc.secure)
+			rig := startAllocRig(sc.body, sc.backend)
 			defer rig.stop(t)
 			perOp := measureAllocsPerOp(t, rig, 2048, 256)
 			if perOp > want {

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"senss"
+	"senss/internal/crypto"
 	"senss/internal/farm"
 )
 
@@ -102,6 +103,7 @@ type sweepFlags struct {
 	cacheDir *string
 	jsonOut  *bool
 	markdown *bool
+	backend  *string
 }
 
 func newSweepFlags(name string) *sweepFlags {
@@ -114,6 +116,7 @@ func newSweepFlags(name string) *sweepFlags {
 		cacheDir: fs.String("cache-dir", ".senss-cache", "result cache directory (empty = in-memory only)"),
 		jsonOut:  fs.Bool("json", false, "emit machine-readable JSON instead of text"),
 		markdown: fs.Bool("markdown", false, "emit markdown tables (run only)"),
+		backend:  fs.String("crypto", crypto.Ref, "crypto backend for secured runs: ref or stdlib (tables are byte-identical; the backend is part of the cache key)"),
 	}
 }
 
@@ -128,6 +131,9 @@ func (sf *sweepFlags) parse(args []string) (scale senss.Size, figs []int, err er
 		scale = senss.SizeBench
 	default:
 		return scale, nil, fmt.Errorf("unknown size %q", *sf.size)
+	}
+	if !crypto.Known(*sf.backend) {
+		return scale, nil, fmt.Errorf("unknown crypto backend %q", *sf.backend)
 	}
 	switch *sf.fig {
 	case "all":
@@ -158,7 +164,9 @@ func (sf *sweepFlags) newHarness(scale senss.Size) (*senss.Harness, *farm.Farm, 
 	if err != nil {
 		return nil, nil, err
 	}
-	return senss.NewHarnessOn(scale, f), f, nil
+	h := senss.NewHarnessOn(scale, f)
+	h.Crypto = *sf.backend
+	return h, f, nil
 }
 
 // figTables runs one figure (or the scalability sweep) to completion.

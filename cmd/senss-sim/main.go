@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"senss"
+	"senss/internal/crypto"
 	"senss/internal/trace"
 )
 
@@ -37,6 +38,7 @@ func main() {
 		interval    = flag.Int("interval", 100, "authentication interval in cache-to-cache transfers (0 = off)")
 		bench       = flag.Bool("bench", false, "use the larger bench-scale problem size")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
+		backend     = flag.String("crypto", crypto.Ref, "crypto backend: "+strings.Join(crypto.Backends(), ", ")+" (ref is the fidelity oracle; cycle counts are identical across backends)")
 		printConfig = flag.Bool("printconfig", false, "print the Figure 5 architectural parameters and exit")
 		compare     = flag.Bool("compare", true, "also run the unprotected baseline and report slowdown")
 		traceFile   = flag.String("trace", "", "record the bus transaction stream to this JSONL file")
@@ -56,6 +58,11 @@ func main() {
 	cfg.Security.Memsec.PerfectSNC = *padperfect
 	cfg.Security.FullDispatch = *dispatch
 	cfg.Security.Senss.Adaptive = *adaptive
+	if !crypto.Known(*backend) {
+		fmt.Fprintf(os.Stderr, "senss-sim: unknown crypto backend %q (have %s)\n", *backend, strings.Join(crypto.Backends(), ", "))
+		os.Exit(2)
+	}
+	cfg.Security.Senss.Backend = *backend
 	switch *authmode {
 	case "cbc":
 		cfg.Security.Senss.AuthMode = senss.AuthCBC

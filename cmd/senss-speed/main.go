@@ -1,0 +1,226 @@
+// Command senss-speed measures the software crypto backends behind the
+// simulator (gocryptfs `speed` style): raw block-encrypt throughput, the
+// memsec pad-stream kernel, the chained CBC-MAC, and end-to-end secured
+// simulation, per registered backend. It writes the results to
+// BENCH_crypto.json — the pinned trajectory point for the crypto layer —
+// and prints a human-readable summary.
+//
+// The backend never affects simulated time (the SHU's AES is charged in
+// modeled cycles), so these are host wall-clock numbers only: they bound
+// how fast the simulator itself can run, not what the modeled hardware
+// does.
+//
+// Examples:
+//
+//	senss-speed
+//	senss-speed -quick -out /dev/stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"senss"
+	"senss/internal/crypto"
+	"senss/internal/crypto/aes"
+	"senss/internal/crypto/cbcmac"
+	"senss/internal/rng"
+)
+
+// backendReport is one backend's row of the emitted JSON.
+type backendReport struct {
+	Name string `json:"name"`
+	// BlockEncryptMBps is raw single-block AES throughput.
+	BlockEncryptMBps float64 `json:"block_encrypt_mbps"`
+	// PadStreamMBps is the memsec kernel: four AES_K(addr‖seq‖i) blocks
+	// per 64-byte line.
+	PadStreamMBps float64 `json:"pad_stream_mbps"`
+	// CBCMACMBps is the Eq. (1) authentication chain.
+	CBCMACMBps float64 `json:"cbcmac_mbps"`
+	// E2ESimOpsPerSecond is simulated memory operations per host second
+	// for a fully secured (bus+mem) run under this backend.
+	E2ESimOpsPerSecond float64 `json:"e2e_sim_ops_per_second"`
+	// E2ECycles pins cross-backend fidelity: simulated cycle counts must
+	// be byte-identical for every backend.
+	E2ECycles uint64 `json:"e2e_sim_cycles"`
+}
+
+// speedReport is the BENCH_crypto.json schema.
+type speedReport struct {
+	Benchmark  string          `json:"benchmark"`
+	Date       string          `json:"date"`
+	HostCPUs   int             `json:"host_cpus"`
+	Gomaxprocs int             `json:"gomaxprocs"`
+	Quick      bool            `json:"quick"`
+	Workload   string          `json:"workload"`
+	Backends   []backendReport `json:"backends"`
+	// StdlibBlockSpeedup is stdlib/ref block-encrypt throughput — the
+	// headline ratio the issue tracks (AES-NI vs table-based reference).
+	StdlibBlockSpeedup float64 `json:"stdlib_block_speedup"`
+}
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "short measurement intervals (CI smoke; numbers are noisy)")
+		out      = flag.String("out", "BENCH_crypto.json", "output file")
+		name     = flag.String("workload", "ocean", "workload for the end-to-end secured run")
+		measure  = flag.Duration("t", 400*time.Millisecond, "target time per microbenchmark")
+		e2eIters = flag.Int("e2e-iters", 3, "end-to-end run repetitions")
+	)
+	flag.Parse()
+	if *quick {
+		*measure = 40 * time.Millisecond
+		*e2eIters = 1
+	}
+
+	report := speedReport{
+		Benchmark:  "crypto-backends",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		HostCPUs:   runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Workload:   *name,
+	}
+
+	var refMBps, stdlibMBps float64
+	for _, backend := range crypto.Backends() {
+		br := backendReport{Name: backend}
+		br.BlockEncryptMBps = benchBlockEncrypt(backend, *measure)
+		br.PadStreamMBps = benchPadStream(backend, *measure)
+		br.CBCMACMBps = benchCBCMAC(backend, *measure)
+		ops, cycles, secs, err := benchE2E(backend, *name, *e2eIters)
+		if err != nil {
+			fail(err)
+		}
+		br.E2ESimOpsPerSecond = float64(ops) / secs
+		br.E2ECycles = cycles
+		report.Backends = append(report.Backends, br)
+
+		fmt.Printf("%-8s blockEncrypt %9.1f MB/s   padStream %9.1f MB/s   cbcmac %9.1f MB/s   e2e %9.0f simOps/s\n",
+			backend, br.BlockEncryptMBps, br.PadStreamMBps, br.CBCMACMBps, br.E2ESimOpsPerSecond)
+
+		switch backend {
+		case crypto.Ref:
+			refMBps = br.BlockEncryptMBps
+		case crypto.Stdlib:
+			stdlibMBps = br.BlockEncryptMBps
+		}
+	}
+	if refMBps > 0 {
+		report.StdlibBlockSpeedup = stdlibMBps / refMBps
+		fmt.Printf("stdlib/ref block-encrypt speedup: %.1fx\n", report.StdlibBlockSpeedup)
+	}
+
+	// Cross-backend fidelity gate: identical simulated cycle counts.
+	for _, br := range report.Backends[1:] {
+		if br.E2ECycles != report.Backends[0].E2ECycles {
+			fail(fmt.Errorf("backend %s simulated %d cycles, %s simulated %d — backends must be cycle-identical",
+				br.Name, br.E2ECycles, report.Backends[0].Name, report.Backends[0].E2ECycles))
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "senss-speed:", err)
+	os.Exit(1)
+}
+
+// throughput runs body (which processes bytesPerCall bytes) in batches
+// until the target measurement time elapses, returning MB/s (1 MB = 1e6
+// bytes, matching gocryptfs speed).
+func throughput(target time.Duration, bytesPerCall int, body func()) float64 {
+	const batch = 4096
+	var calls int
+	t0 := time.Now()
+	for time.Since(t0) < target {
+		for i := 0; i < batch; i++ {
+			body()
+		}
+		calls += batch
+	}
+	secs := time.Since(t0).Seconds()
+	return float64(calls) * float64(bytesPerCall) / secs / 1e6
+}
+
+func benchBlockEncrypt(backend string, target time.Duration) float64 {
+	r := rng.New(0xb10c)
+	c := crypto.MustBackend(backend, aes.Block(r.Block16()))
+	in := aes.Block(r.Block16())
+	var sink aes.Block
+	mbps := throughput(target, aes.BlockSize, func() {
+		sink = c.Encrypt(in)
+		in[0] = sink[0] // serialize: next input depends on last output
+	})
+	return mbps
+}
+
+// benchPadStream mirrors memsec.Layer.pad: four counter-derived AES
+// blocks per 64-byte line.
+func benchPadStream(backend string, target time.Duration) float64 {
+	r := rng.New(0x9ad5)
+	c := crypto.MustBackend(backend, aes.Block(r.Block16()))
+	const lineBytes = 64
+	var addr, seq uint64 = 0x1000, 1
+	var sink byte
+	mbps := throughput(target, lineBytes, func() {
+		for i := 0; i*aes.BlockSize < lineBytes; i++ {
+			b := c.Encrypt(aes.BlockFromUint64(addr, seq<<8|uint64(i)))
+			sink ^= b[0]
+		}
+		addr += lineBytes
+		seq++
+	})
+	_ = sink
+	return mbps
+}
+
+func benchCBCMAC(backend string, target time.Duration) float64 {
+	r := rng.New(0x3ac)
+	c := crypto.MustBackend(backend, aes.Block(r.Block16()))
+	m := cbcmac.New(c, aes.Block(r.Block16()))
+	in := aes.Block(r.Block16())
+	return throughput(target, aes.BlockSize, func() {
+		m.Update(in)
+	})
+}
+
+// benchE2E runs a fully secured (bus + memory pads) simulation under the
+// backend and reports total simulated memory operations, the simulated
+// cycle count of one run, and elapsed host seconds.
+func benchE2E(backend, name string, iters int) (ops, cycles uint64, secs float64, err error) {
+	cfg := senss.DefaultConfig()
+	cfg.Procs = 4
+	cfg.Coherence.L1Size = 4 << 10
+	cfg.Coherence.L2Size = 64 << 10
+	cfg.CPU.CodeBytes = 2 << 10
+	cfg.Security.Mode = senss.SecurityBusMem
+	cfg.Security.Senss.Backend = backend
+
+	// One warmup run (page-in, code layout) before the measured loop.
+	if _, err := senss.RunWorkload(name, senss.SizeTest, cfg); err != nil {
+		return 0, 0, 0, err
+	}
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		run, err := senss.RunWorkload(name, senss.SizeTest, cfg)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		ops += run.Loads + run.Stores + run.RMWs
+		cycles = run.Cycles
+	}
+	return ops, cycles, time.Since(t0).Seconds(), nil
+}

@@ -21,6 +21,7 @@ import (
 
 	"senss"
 	"senss/internal/core"
+	"senss/internal/crypto"
 	"senss/internal/farm"
 )
 
@@ -32,8 +33,14 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = one per core)")
 		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (empty = in-memory only)")
 		progress = flag.Bool("progress", false, "report live sweep progress on stderr")
+		backend  = flag.String("crypto", crypto.Ref, "crypto backend for secured runs: ref or stdlib (tables are byte-identical; stdlib is faster wall-clock)")
 	)
 	flag.Parse()
+
+	if !crypto.Known(*backend) {
+		fmt.Fprintf(os.Stderr, "senss-tables: unknown crypto backend %q\n", *backend)
+		os.Exit(2)
+	}
 
 	scale := senss.SizeTest
 	if *size == "bench" {
@@ -54,6 +61,7 @@ func main() {
 	}
 
 	h := senss.NewHarnessOn(scale, f)
+	h.Crypto = *backend
 	figures := []int{6, 7, 8, 9, 10, 11}
 	switch *fig {
 	case "all":

@@ -34,6 +34,13 @@ type Harness struct {
 	Size      Size
 	Workloads []string
 
+	// Crypto, when non-empty, names the crypto.BlockCipher backend every
+	// secured run of the sweep uses ("ref", "stdlib"). Baseline
+	// (security-off) runs never carry a backend, so they stay shared
+	// across backends in the cache. Empty means the default (reference)
+	// backend.
+	Crypto string
+
 	farm *farm.Farm
 
 	// collecting/pending implement the two-pass sweep protocol: while
@@ -78,6 +85,9 @@ func (h *Harness) sizeName() string {
 // metrics of the discarded first-pass tables are all zero-safe); during
 // assembly it is served from the farm's cache.
 func (h *Harness) run(name string, cfg Config) (Run, error) {
+	if h.Crypto != "" && cfg.Security.Mode != machine.SecurityOff {
+		cfg.Security.Senss.Backend = h.Crypto
+	}
 	job := farm.Job{Workload: name, Size: h.Size, Config: cfg, Figure: h.figure}
 	if h.collecting {
 		h.pending = append(h.pending, job)

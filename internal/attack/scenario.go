@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"senss/internal/core"
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/rng"
 )
@@ -82,7 +83,7 @@ func Scenarios() []Scenario {
 			Run: func(seed uint64) Report {
 				r := rng.New(seed)
 				key := aes.Block(r.Block16())
-				ch := core.NewPadReuseChannel(key)
+				ch := core.NewPadReuseChannel(crypto.MustBackend(crypto.Ref, key))
 				d1 := aes.Block(r.Block16())
 				d2 := aes.Block(r.Block16())
 				c1 := ch.Encrypt(0x4000, 3, d1)
@@ -159,8 +160,8 @@ func Scenarios() []Scenario {
 				r := rng.New(seed)
 				key := aes.Block(r.Block16())
 				iv := aes.Block(r.Block16())
-				send := core.NewMaskChainAuth(key, iv)
-				recv := core.NewMaskChainAuth(key, iv)
+				send := core.NewMaskChainAuth(crypto.MustBackend(crypto.Ref, key), iv)
+				recv := core.NewMaskChainAuth(crypto.MustBackend(crypto.Ref, key), iv)
 				c1, c2, c3 := aes.Block(r.Block16()), aes.Block(r.Block16()), aes.Block(r.Block16())
 				send.ObserveCipher(c1)
 				send.ObserveCipher(c2)

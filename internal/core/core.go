@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/crypto/cbcmac"
 	"senss/internal/crypto/gf128"
@@ -88,6 +89,13 @@ type Params struct {
 	// sender's XOR plus 2 on each receiver (GID lookup + XOR), per §7.1.
 	BusOverhead uint64
 
+	// Backend names the crypto.BlockCipher backend every session cipher is
+	// constructed from ("ref", "stdlib"; empty selects crypto.Default).
+	// Purely a host-software choice: the SHU's AES core is charged in
+	// modeled cycles via AESLatency, so mask schedules, MACs, and cycle
+	// counts are identical across backends.
+	Backend string
+
 	// Adaptive, when enabled, lets the system adjust the authentication
 	// interval with bus load (§4.3: "the sequence length can be adjusted
 	// by the system" — under heavy traffic per-transfer checking is
@@ -153,7 +161,7 @@ func (p Params) sanitize() Params {
 // session is one group's entry in a processor's group information table.
 type session struct {
 	gid    int
-	cipher *aes.Cipher
+	cipher crypto.BlockCipher
 	//senss-lint:secret
 	banks   [][]aes.Block // [k][BlocksPerLine] mask material
 	seq     uint64        // this member's view of the group message count
@@ -207,7 +215,10 @@ func (s *SHU) Join(gid int, key aes.Block, members uint32, encIV, authIV aes.Blo
 	if encIV == authIV {
 		return fmt.Errorf("core: encryption and authentication IVs must differ")
 	}
-	cipher := aes.NewFromBlock(key)
+	cipher, err := crypto.NewBackend(s.params.Backend, key)
+	if err != nil {
+		return err
+	}
 	ss := &session{
 		gid:    gid,
 		cipher: cipher,

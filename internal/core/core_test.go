@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"senss/internal/bus"
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/rng"
 )
@@ -231,8 +232,8 @@ func TestType2NaiveMaskChainRecovers(t *testing.T) {
 	r := rng.New(18)
 	c1, c2, c3 := aes.Block(r.Block16()), aes.Block(r.Block16()), aes.Block(r.Block16())
 
-	sender := NewMaskChainAuth(key, iv)
-	receiver := NewMaskChainAuth(key, iv)
+	sender := NewMaskChainAuth(crypto.MustBackend(crypto.Ref, key), iv)
+	receiver := NewMaskChainAuth(crypto.MustBackend(crypto.Ref, key), iv)
 
 	// Sender-side order: c1 c2 c3. Receiver sees c2 c1 c3 (swap).
 	sender.ObserveCipher(c1)
@@ -349,7 +350,7 @@ func TestReplayDetected(t *testing.T) {
 // scheme: two transfers of a line under the same memory pad leak D ⊕ D'.
 func TestSec31PadReuseLeak(t *testing.T) {
 	key, _, _ := testIVs(25)
-	ch := NewPadReuseChannel(key)
+	ch := NewPadReuseChannel(crypto.MustBackend(crypto.Ref, key))
 	r := rng.New(26)
 	d1 := aes.Block(r.Block16())
 	d2 := aes.Block(r.Block16())

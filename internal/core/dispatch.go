@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/crypto/cbcmac"
 	"senss/internal/crypto/ct"
@@ -67,7 +68,7 @@ func (d *Distributor) RegisterProcessor(pid int, pub *rsa.PublicKey) {
 func (d *Distributor) Dispatch(image []byte, members uint32) (*Package, aes.Block, error) {
 	key := aes.Block(d.random.Block16())
 	iv := aes.Block(d.random.Block16())
-	cipher := aes.NewFromBlock(key)
+	cipher := crypto.MustBackend(crypto.Ref, key)
 
 	enc := cbcEncrypt(cipher, iv, image)
 	pkg := &Package{
@@ -110,7 +111,7 @@ func (pkg *Package) Unwrap(pid int, keys *ProcessorKeys) (aes.Block, error) {
 	}
 	var key aes.Block
 	copy(key[:], raw)
-	cipher := aes.NewFromBlock(key)
+	cipher := crypto.MustBackend(crypto.Ref, key)
 	mac := cbcmac.Sum(cipher, pkg.ImageIV.XOR(aes.BlockFromUint64(^uint64(0), 0)), pkg.Image)
 	if !ct.Equal(mac[:], pkg.ImageMAC[:]) {
 		return aes.Block{}, fmt.Errorf("core: program image failed authentication")
@@ -120,7 +121,7 @@ func (pkg *Package) Unwrap(pid int, keys *ProcessorKeys) (aes.Block, error) {
 
 // DecryptImage recovers the plaintext program bytes.
 func (pkg *Package) DecryptImage(key aes.Block) []byte {
-	return cbcDecrypt(aes.NewFromBlock(key), pkg.ImageIV, pkg.Image)
+	return cbcDecrypt(crypto.MustBackend(crypto.Ref, key), pkg.ImageIV, pkg.Image)
 }
 
 // Dispatcher performs the full arrival-side handshake on a System: every
@@ -174,7 +175,7 @@ func (disp *Dispatcher) Install(sys *System, table *GroupTable, pkg *Package, ke
 }
 
 // cbcEncrypt encrypts msg (zero-padded to a block multiple) in CBC mode.
-func cbcEncrypt(cipher *aes.Cipher, iv aes.Block, msg []byte) []byte {
+func cbcEncrypt(cipher crypto.BlockCipher, iv aes.Block, msg []byte) []byte {
 	n := (len(msg) + aes.BlockSize - 1) / aes.BlockSize
 	out := make([]byte, n*aes.BlockSize)
 	prev := iv
@@ -188,7 +189,7 @@ func cbcEncrypt(cipher *aes.Cipher, iv aes.Block, msg []byte) []byte {
 }
 
 // cbcDecrypt reverses cbcEncrypt (padding retained).
-func cbcDecrypt(cipher *aes.Cipher, iv aes.Block, ct []byte) []byte {
+func cbcDecrypt(cipher crypto.BlockCipher, iv aes.Block, ct []byte) []byte {
 	out := make([]byte, len(ct))
 	prev := iv
 	for i := 0; i+aes.BlockSize <= len(ct); i += aes.BlockSize {

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/rng"
 )
@@ -159,7 +160,7 @@ func TestMetamorphicNaiveMaskChainMissesReorder(t *testing.T) {
 	}
 	for i := 0; i+2 < n; i++ {
 		variant := swapAt(msgs, i)
-		ref, vic := NewMaskChainAuth(key, iv), NewMaskChainAuth(key, iv)
+		ref, vic := NewMaskChainAuth(crypto.MustBackend(crypto.Ref, key), iv), NewMaskChainAuth(crypto.MustBackend(crypto.Ref, key), iv)
 		feed(ref, msgs)
 		feed(vic, variant)
 		if ref.Evidence() != vic.Evidence() {

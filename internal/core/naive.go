@@ -1,6 +1,7 @@
 package core
 
 import (
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 )
 
@@ -19,12 +20,12 @@ import (
 // pad (the memory-encryption pad, unchanged while the line is dirty in a
 // cache) XOR-encrypts every bus transfer of that line.
 type PadReuseChannel struct {
-	cipher *aes.Cipher
+	cipher crypto.BlockCipher
 }
 
-// NewPadReuseChannel builds the strawman channel under key.
-func NewPadReuseChannel(key aes.Block) *PadReuseChannel {
-	return &PadReuseChannel{cipher: aes.NewFromBlock(key)}
+// NewPadReuseChannel builds the strawman channel over cipher.
+func NewPadReuseChannel(cipher crypto.BlockCipher) *PadReuseChannel {
+	return &PadReuseChannel{cipher: cipher}
 }
 
 // Pad derives the (address-stable) pad for addr — exactly the fast memory
@@ -49,13 +50,13 @@ func LeakXOR(c1, c2 aes.Block) aes.Block { return c1.XOR(c2) }
 // swap of two adjacent messages both ends converge to the same mask again,
 // so comparing masks at a later checkpoint detects nothing.
 type MaskChainAuth struct {
-	cipher *aes.Cipher
+	cipher crypto.BlockCipher
 	mask   aes.Block
 }
 
-// NewMaskChainAuth starts the strawman chain from iv under key.
-func NewMaskChainAuth(key, iv aes.Block) *MaskChainAuth {
-	return &MaskChainAuth{cipher: aes.NewFromBlock(key), mask: iv}
+// NewMaskChainAuth starts the strawman chain from iv over cipher.
+func NewMaskChainAuth(cipher crypto.BlockCipher, iv aes.Block) *MaskChainAuth {
+	return &MaskChainAuth{cipher: cipher, mask: iv}
 }
 
 // ObserveCipher advances the strawman chain with a raw ciphertext block.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/crypto/cbcmac"
 	"senss/internal/crypto/ct"
@@ -28,7 +29,7 @@ import (
 // both ends of every transfer instead of SENSS's one XOR; the machine
 // layer charges 2×AESLatency plus a tag slot when this mode is selected.
 type NaiveChannel struct {
-	cipher *aes.Cipher
+	cipher crypto.BlockCipher
 }
 
 // NaiveMessage is one self-contained wire message.
@@ -38,9 +39,9 @@ type NaiveMessage struct {
 	Tag    aes.Block
 }
 
-// NewNaiveChannel builds the strawman channel under key.
-func NewNaiveChannel(key aes.Block) *NaiveChannel {
-	return &NaiveChannel{cipher: aes.NewFromBlock(key)}
+// NewNaiveChannel builds the strawman channel over cipher.
+func NewNaiveChannel(cipher crypto.BlockCipher) *NaiveChannel {
+	return &NaiveChannel{cipher: cipher}
 }
 
 // pad derives the OTP material for (seq, block j).

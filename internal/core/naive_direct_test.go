@@ -3,13 +3,14 @@ package core
 import (
 	"testing"
 
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/rng"
 )
 
 func naiveChannel(seed uint64) (*NaiveChannel, *rng.Rand) {
 	r := rng.New(seed)
-	return NewNaiveChannel(aes.Block(r.Block16())), r
+	return NewNaiveChannel(crypto.MustBackend(crypto.Ref, aes.Block(r.Block16()))), r
 }
 
 func naiveBlocks(r *rng.Rand) []aes.Block {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/crypto/cbcmac"
 	"senss/internal/crypto/ct"
@@ -64,7 +65,10 @@ func (s *SHU) Resume(saved *SavedContext, key aes.Block) error {
 	if saved.PID != s.PID {
 		return fmt.Errorf("core: context for processor %d resumed on %d", saved.PID, s.PID)
 	}
-	cipher := aes.NewFromBlock(key)
+	cipher, err := crypto.NewBackend(s.params.Backend, key)
+	if err != nil {
+		return err
+	}
 	// Authenticate before use: a swapped blob in memory is attacker-reachable.
 	mac := cbcmac.Sum(cipher, saved.IV.XOR(s.macBinder(cipher, saved.IV)), saved.Ciphertext)
 	if !ct.Equal(mac[:], saved.MAC[:]) {
@@ -83,7 +87,7 @@ func (s *SHU) Resume(saved *SavedContext, key aes.Block) error {
 // macBinder reconstructs the MAC IV binding used at Suspend time. The
 // suspend IV is AES_K(magic ‖ seed); its decryption recovers the seed, so
 // the binder is AES-free of stored secrets yet unforgeable without K.
-func (s *SHU) macBinder(cipher *aes.Cipher, iv aes.Block) aes.Block {
+func (s *SHU) macBinder(cipher crypto.BlockCipher, iv aes.Block) aes.Block {
 	seedBlock := cipher.Decrypt(iv)
 	_, seed := seedBlock.Uint64s()
 	return aes.BlockFromUint64(contextMagic, ^seed)
@@ -120,7 +124,7 @@ func (s *SHU) serializeSession(ss *session) []byte {
 }
 
 // deserializeSession rebuilds a session from serialized state.
-func (s *SHU) deserializeSession(plain []byte, cipher *aes.Cipher) (*session, error) {
+func (s *SHU) deserializeSession(plain []byte, cipher crypto.BlockCipher) (*session, error) {
 	rd := func() (uint64, error) {
 		if len(plain) < 8 {
 			return 0, fmt.Errorf("core: truncated context")

@@ -11,11 +11,14 @@
 // authentication point.
 package cbcmac
 
-import "senss/internal/crypto/aes"
+import (
+	"senss/internal/crypto"
+	"senss/internal/crypto/aes"
+)
 
 // MAC is a running chained MAC. The zero value is unusable; use New.
 type MAC struct {
-	cipher *aes.Cipher
+	cipher crypto.BlockCipher
 	//senss-lint:secret
 	state aes.Block
 	//senss-lint:secret
@@ -26,7 +29,7 @@ type MAC struct {
 // Resume reconstructs a MAC whose chain continues from a previously saved
 // state value (SHU context swap-in, paper §4.2). Reset rewinds only to the
 // resumed point.
-func Resume(cipher *aes.Cipher, state aes.Block) *MAC {
+func Resume(cipher crypto.BlockCipher, state aes.Block) *MAC {
 	return &MAC{cipher: cipher, state: state, iv: state}
 }
 
@@ -35,7 +38,7 @@ func Resume(cipher *aes.Cipher, state aes.Block) *MAC {
 // SENSS requires the authentication IV to differ from the encryption IV
 // (paper §4.3, "Defending Type 2 attacks"); that policy is enforced by the
 // caller (the SHU), not here.
-func New(cipher *aes.Cipher, iv aes.Block) *MAC {
+func New(cipher crypto.BlockCipher, iv aes.Block) *MAC {
 	return &MAC{cipher: cipher, state: iv, iv: iv}
 }
 
@@ -77,7 +80,7 @@ func (m *MAC) Clone() *MAC {
 // Sum computes the one-shot CBC-MAC of msg (padded with zeros to a block
 // multiple) under cipher and iv. Convenience for tests and for the program
 // dispatcher's package signature.
-func Sum(cipher *aes.Cipher, iv aes.Block, msg []byte) aes.Block {
+func Sum(cipher crypto.BlockCipher, iv aes.Block, msg []byte) aes.Block {
 	m := New(cipher, iv)
 	var b aes.Block
 	for len(msg) > 0 {

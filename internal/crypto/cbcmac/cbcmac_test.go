@@ -4,13 +4,14 @@ import (
 	"testing"
 	"testing/quick"
 
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/rng"
 )
 
-func newCipher(seed uint64) (*aes.Cipher, *rng.Rand) {
+func newCipher(seed uint64) (crypto.BlockCipher, *rng.Rand) {
 	r := rng.New(seed)
-	return aes.NewFromBlock(aes.Block(r.Block16())), r
+	return crypto.MustBackend(crypto.Ref, aes.Block(r.Block16())), r
 }
 
 // TestChainMatchesManualComputation cross-checks Update against a hand-rolled

@@ -3,13 +3,14 @@ package cbcmac
 import (
 	"testing"
 
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 )
 
 // TestZeroize verifies the chain state, IV, block count, and cipher
 // reference are all cleared.
 func TestZeroize(t *testing.T) {
-	cipher := aes.NewFromBlock(aes.Block{1, 2, 3, 4})
+	cipher := crypto.MustBackend(crypto.Ref, aes.Block{1, 2, 3, 4})
 	m := New(cipher, aes.Block{9, 9, 9})
 	m.Update(aes.Block{5})
 	m.Update(aes.Block{6})

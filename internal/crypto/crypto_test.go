@@ -1,0 +1,151 @@
+package crypto
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"senss/internal/crypto/aes"
+	"senss/internal/rng"
+)
+
+func mustHexBlock(t *testing.T, s string) aes.Block {
+	t.Helper()
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != 16 {
+		t.Fatalf("bad hex block %q: %v", s, err)
+	}
+	var b aes.Block
+	copy(b[:], raw)
+	return b
+}
+
+// TestBackendsKnownAnswer runs the FIPS-197 appendix C.1 AES-128 vector
+// (plus the appendix B worked example) against every registered backend:
+// both must compute the same cipher, bit for bit.
+func TestBackendsKnownAnswer(t *testing.T) {
+	vectors := []struct {
+		name, key, pt, ct string
+	}{
+		{
+			name: "fips197-c1",
+			key:  "000102030405060708090a0b0c0d0e0f",
+			pt:   "00112233445566778899aabbccddeeff",
+			ct:   "69c4e0d86a7b0430d8cdb78070b4c55a",
+		},
+		{
+			name: "fips197-b",
+			key:  "2b7e151628aed2a6abf7158809cf4f3c",
+			pt:   "3243f6a8885a308d313198a2e0370734",
+			ct:   "3925841d02dc09fbdc118597196a0b32",
+		},
+	}
+	for _, backend := range Backends() {
+		for _, v := range vectors {
+			key := mustHexBlock(t, v.key)
+			pt := mustHexBlock(t, v.pt)
+			ct := mustHexBlock(t, v.ct)
+			c := MustBackend(backend, key)
+			if got := c.Encrypt(pt); got != ct {
+				t.Errorf("%s/%s: Encrypt = %s, want %s", backend, v.name, got, ct)
+			}
+			if got := c.Decrypt(ct); got != pt {
+				t.Errorf("%s/%s: Decrypt = %s, want %s", backend, v.name, got, pt)
+			}
+		}
+	}
+}
+
+// TestCrossBackendDifferential drives ref and stdlib in lockstep over
+// thousands of random (key, block) pairs: the registry promises every
+// backend computes the same AES-128 function, and the simulator's
+// byte-identical-tables guarantee rests on exactly that.
+func TestCrossBackendDifferential(t *testing.T) {
+	r := rng.New(0x5e2155)
+	const keys, blocksPerKey = 32, 128
+	for k := 0; k < keys; k++ {
+		key := aes.Block(r.Block16())
+		ref := MustBackend(Ref, key)
+		std := MustBackend(Stdlib, key)
+		for i := 0; i < blocksPerKey; i++ {
+			pt := aes.Block(r.Block16())
+			re, se := ref.Encrypt(pt), std.Encrypt(pt)
+			if re != se {
+				t.Fatalf("key %d block %d: ref Encrypt %s != stdlib %s", k, i, re, se)
+			}
+			rd, sd := ref.Decrypt(pt), std.Decrypt(pt)
+			if rd != sd {
+				t.Fatalf("key %d block %d: ref Decrypt %s != stdlib %s", k, i, rd, sd)
+			}
+			if got := std.Decrypt(se); got != pt {
+				t.Fatalf("key %d block %d: stdlib round-trip %s != %s", k, i, got, pt)
+			}
+		}
+	}
+}
+
+// TestZeroize pins the erasure contract: after Zeroize a backend no
+// longer computes AES under the session key, for every backend.
+func TestZeroize(t *testing.T) {
+	r := rng.New(0x2e20)
+	for _, backend := range Backends() {
+		key := aes.Block(r.Block16())
+		pt := aes.Block(r.Block16())
+		c := MustBackend(backend, key)
+		before := c.Encrypt(pt)
+		c.Zeroize()
+		if got := c.Encrypt(pt); got == before {
+			t.Errorf("%s: Encrypt unchanged after Zeroize", backend)
+		}
+		if got := c.Decrypt(before); got == pt {
+			t.Errorf("%s: Decrypt still inverts the session key after Zeroize", backend)
+		}
+	}
+}
+
+// TestRegistry covers name canonicalization and the unknown-name error.
+func TestRegistry(t *testing.T) {
+	key := aes.Block{1}
+	if _, err := NewBackend("", key); err != nil {
+		t.Errorf(`NewBackend("") = %v, want the default backend`, err)
+	}
+	if _, err := NewBackend("openssl-ni", key); err == nil {
+		t.Error("NewBackend with unknown name succeeded, want error")
+	}
+	if Canonical("") != Default || Canonical(Stdlib) != Stdlib {
+		t.Errorf("Canonical misbehaves: %q %q", Canonical(""), Canonical(Stdlib))
+	}
+	if !Known("") || !Known(Ref) || !Known(Stdlib) || Known("nope") {
+		t.Error("Known disagrees with the registry")
+	}
+	want := []string{Ref, Stdlib}
+	got := Backends()
+	if len(got) != len(want) {
+		t.Fatalf("Backends() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Backends() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEncryptZeroAlloc is the dynamic half of the hotpath discipline for
+// the backends themselves: pad generation calls Encrypt millions of
+// times on a zero-alloc budget, so neither backend may allocate per
+// block once constructed.
+func TestEncryptZeroAlloc(t *testing.T) {
+	r := rng.New(0xa110c)
+	for _, backend := range Backends() {
+		c := MustBackend(backend, aes.Block(r.Block16()))
+		pt := aes.Block(r.Block16())
+		var sink aes.Block
+		avg := testing.AllocsPerRun(200, func() {
+			sink = c.Encrypt(pt)
+			sink = c.Decrypt(sink)
+		})
+		if avg != 0 {
+			t.Errorf("%s: %v allocations per Encrypt+Decrypt, want 0", backend, avg)
+		}
+		_ = sink
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"senss/internal/crypto"
 	"senss/internal/machine"
 	"senss/internal/workload"
 )
@@ -45,11 +46,16 @@ type Job struct {
 // schema changes hashes, which only invalidates cache entries; stale
 // results are additionally fenced by the CacheVersion stamp.
 func (j Job) Hash() string {
+	cfg := j.Config
+	// The crypto backend is part of the job identity (it names which
+	// cipher implementation ran, so provenance stays honest), but "" and
+	// the default name are the same backend and must share a cache entry.
+	cfg.Security.Senss.Backend = crypto.Canonical(cfg.Security.Senss.Backend)
 	payload, err := json.Marshal(struct {
 		Workload string
 		Size     workload.Size
 		Config   machine.Config
-	}{j.Workload, j.Size, j.Config})
+	}{j.Workload, j.Size, cfg})
 	if err != nil {
 		// Config is a static value-struct tree; Marshal cannot fail on it.
 		panic(fmt.Sprintf("farm: hashing job: %v", err))

@@ -26,6 +26,7 @@ import (
 	"senss/internal/bus"
 	"senss/internal/core"
 	"senss/internal/cpu"
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/machine"
 	"senss/internal/oracle"
@@ -194,11 +195,17 @@ func decodeAdversary(data []byte) (transfers int, steps []attack.Step) {
 // oracle silent — never both silent about a real deviation.
 func RunAdversary(data []byte) error {
 	transfers, steps := decodeAdversary(data)
+	// The crypto backend is an extra fuzzed dimension, chosen without
+	// disturbing the step encoding (so the checked-in corpus keeps its
+	// meaning): the oracle always recomputes with the reference AES, so
+	// stdlib-backend runs are lockstep-checked against it here too.
+	backends := crypto.Backends()
 	params := core.Params{
 		Masks:        2,
 		Perfect:      true,
 		AuthInterval: 10,
 		MACTagBytes:  16,
+		Backend:      backends[len(data)%len(backends)],
 	}
 	sys := core.NewSystem(nil, nil, advProcs, params, false)
 	checker := oracle.New(oracle.Options{Procs: advProcs, Senss: params})

@@ -92,15 +92,32 @@ var taintOrigins = map[string]originSpec{
 // or recovered line plaintext, both of which the datapath handles freely;
 // the protected material is the persistent pad and key stores.
 var taintDeclassifiers = map[string]bool{
-	"(*senss/internal/crypto/aes.Cipher).Encrypt": true,
-	"(*senss/internal/crypto/aes.Cipher).Decrypt": true,
-	"(senss/internal/crypto/aes.Block).XOR":       true,
+	"(senss/internal/crypto/aes.Block).XOR": true,
 	"senss/internal/crypto/sha256.Sum256":         true,
 	"crypto/sha256.Sum256":                        true,
 	"senss/internal/crypto/ct.Equal":              true,
 	"senss/internal/crypto/ct.Fingerprint":        true,
-	"crypto/subtle.ConstantTimeCompare":           true,
-	"crypto/hmac.Equal":                           true,
+	"crypto/subtle.ConstantTimeCompare":     true,
+	"crypto/hmac.Equal":                     true,
+}
+
+// taintDeclassifierIfaces extends the declassifier table to interface
+// methods: a call through a listed interface method declassifies, and so
+// does a call to any method (on any type, in or out of the module) that
+// implements the interface. This is how every crypto.BlockCipher backend's
+// Encrypt/Decrypt cuts taint without a per-implementation entry — adding a
+// backend to the registry never requires touching this table. The
+// "taint.BlockLike" entry serves the fixture package and doubles as a
+// regression test of the resolution. Keyed by package path + type name.
+var taintDeclassifierIfaces = map[string][]string{
+	"senss/internal/crypto.BlockCipher": {"Encrypt", "Decrypt"},
+	"taint.BlockLike":                   {"Encrypt"},
+}
+
+// declassIface is one resolved entry of taintDeclassifierIfaces.
+type declassIface struct {
+	iface   *types.Interface
+	methods map[string]bool
 }
 
 // zeroizerNames are the function names the zeroize-on-all-paths rule
@@ -158,7 +175,10 @@ type taintWorld struct {
 	secretFields map[*types.Var]string
 	// named lists every module named type, for interface resolution.
 	named     []types.Type
-	implCache map[*types.Func][]*types.Func
+	// declassIfaces holds the resolved taintDeclassifierIfaces entries
+	// found among the loaded packages and their imports.
+	declassIfaces []declassIface
+	implCache     map[*types.Func][]*types.Func
 	summaries map[*types.Func]*taintSummary
 	extParam  map[*types.Func]uint64
 	changed   bool
@@ -280,6 +300,82 @@ func (w *taintWorld) build() {
 	sort.Slice(w.order, func(i, j int) bool {
 		return w.order[i].decl.Pos() < w.order[j].decl.Pos()
 	})
+	w.resolveDeclassIfaces()
+}
+
+// resolveDeclassIfaces looks up every taintDeclassifierIfaces entry among
+// the loaded packages and everything they import, so interface-method
+// declassification works even when the analyzer runs on a package subset
+// that merely imports the interface's package.
+func (w *taintWorld) resolveDeclassIfaces() {
+	want := make(map[string]map[string][]string) // pkg path → type name → methods
+	for key, methods := range taintDeclassifierIfaces {
+		dot := strings.LastIndex(key, ".")
+		if dot < 0 {
+			continue
+		}
+		path, name := key[:dot], key[dot+1:]
+		if want[path] == nil {
+			want[path] = make(map[string][]string)
+		}
+		want[path][name] = methods
+	}
+	seen := make(map[*types.Package]bool)
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		if types_ := want[p.Path()]; types_ != nil {
+			for name, methods := range types_ {
+				tn, _ := p.Scope().Lookup(name).(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				iface, _ := tn.Type().Underlying().(*types.Interface)
+				if iface == nil {
+					continue
+				}
+				ms := make(map[string]bool, len(methods))
+				for _, m := range methods {
+					ms[m] = true
+				}
+				w.declassIfaces = append(w.declassIfaces, declassIface{iface: iface, methods: ms})
+			}
+		}
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	for _, pkg := range w.mp.Pkgs {
+		visit(pkg.Types)
+	}
+}
+
+// isDeclassifier reports whether a call to callee cuts taint: either a
+// direct entry in taintDeclassifiers, or a method declared by (or
+// implementing) one of the taintDeclassifierIfaces interfaces.
+func (w *taintWorld) isDeclassifier(callee *types.Func) bool {
+	if taintDeclassifiers[callee.FullName()] {
+		return true
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	for _, di := range w.declassIfaces {
+		if !di.methods[callee.Name()] {
+			continue
+		}
+		// An interface receiver implements itself, so both calls through
+		// the interface and calls on concrete implementations match.
+		if types.Implements(rt, di.iface) || types.Implements(types.NewPointer(rt), di.iface) {
+			return true
+		}
+	}
+	return false
 }
 
 // collectSecretFields records struct fields annotated //senss-lint:secret
@@ -662,7 +758,7 @@ func (s *fstate) call(call *ast.CallExpr) tval {
 	}
 
 	full := callee.FullName()
-	if taintDeclassifiers[full] {
+	if s.w.isDeclassifier(callee) {
 		return tval{}
 	}
 	if w, sunk := taintSinkOf(callee); sunk {
@@ -779,7 +875,7 @@ func (s *fstate) callResults(call *ast.CallExpr, n int) []tval {
 		return out
 	}
 	full := callee.FullName()
-	if taintDeclassifiers[full] {
+	if s.w.isDeclassifier(callee) {
 		return out
 	}
 	var args []ast.Expr

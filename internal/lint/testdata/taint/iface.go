@@ -1,0 +1,55 @@
+package taint
+
+import "fmt"
+
+// BlockLike mirrors the module's crypto.BlockCipher: its Encrypt is wired
+// into the analyzer's taintDeclassifierIfaces table, so calls through the
+// interface AND calls on implementing concrete types must both cut taint
+// — while an Encrypt method on a non-implementing type must not.
+type BlockLike interface {
+	Encrypt(src [16]byte) [16]byte
+}
+
+// xorEngine implements BlockLike.
+type xorEngine struct {
+	//senss-lint:secret
+	pad [16]byte
+}
+
+func (e *xorEngine) Encrypt(src [16]byte) [16]byte {
+	var out [16]byte
+	for i := range src {
+		out[i] = src[i] ^ e.pad[i]
+	}
+	return out
+}
+
+// CleanIfaceEncrypt prints cipher output obtained through the interface:
+// declassified, no finding.
+func CleanIfaceEncrypt(c BlockLike, src [16]byte) {
+	ct := c.Encrypt(src)
+	fmt.Printf("wire block %x\n", ct)
+}
+
+// CleanConcreteEncrypt prints cipher output from the concrete
+// implementation directly: resolved via types.Implements, no finding.
+func CleanConcreteEncrypt(src [16]byte) {
+	e := &xorEngine{}
+	ct := e.Encrypt(src)
+	fmt.Printf("wire block %x\n", ct)
+}
+
+// mislabeled has an Encrypt method but does NOT implement BlockLike (the
+// signature differs), so the interface entry must not declassify it.
+type mislabeled struct {
+	//senss-lint:secret
+	key []byte
+}
+
+func (m *mislabeled) Encrypt() []byte { return m.key }
+
+// LeakFakeEncrypt prints the result of the non-implementing Encrypt: the
+// secret flows through untouched.
+func LeakFakeEncrypt(m *mislabeled) {
+	fmt.Printf("key = %x\n", m.Encrypt()) // want `flows into fmt.Printf`
+}

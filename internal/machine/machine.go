@@ -12,6 +12,7 @@ import (
 	"senss/internal/coherence"
 	"senss/internal/core"
 	"senss/internal/cpu"
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/integrity"
 	"senss/internal/mem"
@@ -167,6 +168,9 @@ func (c Config) Validate() error {
 	if m := c.Security.Senss.Masks; m != 0 && m != 1 && m != 2 && m != 4 && m != 8 {
 		return fmt.Errorf("machine: mask banks = %d, must be 1, 2, 4, or 8", m)
 	}
+	if b := c.Security.Senss.Backend; !crypto.Known(b) {
+		return fmt.Errorf("machine: unknown crypto backend %q (have %v)", b, crypto.Backends())
+	}
 	return nil
 }
 
@@ -227,7 +231,8 @@ func New(cfg Config) *Machine {
 	var port bus.MemoryPort = &bus.SimpleMemory{Backing: m.Store}
 	if cfg.Security.Mode == SecurityBusMem {
 		key := aes.Block(m.rand.Block16())
-		m.Memsec = memsec.New(m.Store, key, cfg.Procs, cfg.Security.Memsec)
+		cipher := crypto.MustBackend(cfg.Security.Senss.Backend, key)
+		m.Memsec = memsec.New(m.Store, cipher, cfg.Procs, cfg.Security.Memsec)
 		port = m.Memsec
 	}
 	if cfg.Security.Mode == SecurityBusMem && cfg.Security.Integrity {
@@ -242,7 +247,7 @@ func New(cfg Config) *Machine {
 	}
 	if cfg.Security.Mode >= SecurityBus {
 		if cfg.Security.Naive {
-			m.naive = newNaiveHook(m.Bus, aes.Block(m.rand.Block16()), cfg.Security.Senss.AESLatency)
+			m.naive = newNaiveHook(m.Bus, crypto.MustBackend(cfg.Security.Senss.Backend, aes.Block(m.rand.Block16())), cfg.Security.Senss.AESLatency)
 			m.Bus.AttachHook(m.naive)
 		} else {
 			m.Senss = core.NewSystem(m.Engine, m.Bus, cfg.Procs, cfg.Security.Senss, true)

@@ -3,7 +3,7 @@ package machine
 import (
 	"senss/internal/bus"
 	"senss/internal/core"
-	"senss/internal/crypto/aes"
+	"senss/internal/crypto"
 	"senss/internal/sim"
 )
 
@@ -23,8 +23,8 @@ type naiveHook struct {
 	Transfers uint64
 }
 
-func newNaiveHook(b *bus.Bus, key aes.Block, aesLat uint64) *naiveHook {
-	return &naiveHook{bus: b, channel: core.NewNaiveChannel(key), aesLat: aesLat}
+func newNaiveHook(b *bus.Bus, cipher crypto.BlockCipher, aesLat uint64) *naiveHook {
+	return &naiveHook{bus: b, channel: core.NewNaiveChannel(cipher), aesLat: aesLat}
 }
 
 // OnTransaction implements bus.SecurityHook.

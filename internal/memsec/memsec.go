@@ -14,6 +14,7 @@ package memsec
 
 import (
 	"senss/internal/bus"
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/mem"
 )
@@ -110,7 +111,7 @@ func (c *padCache) drop(addr uint64) { delete(c.entries, addr) }
 // the bus.MemoryPort, holding the authoritative per-line sequence numbers.
 type Layer struct {
 	params  Params
-	cipher  *aes.Cipher
+	cipher  crypto.BlockCipher
 	backing *mem.Store
 	seq     map[uint64]uint64 // line address → current sequence (≥1 once touched)
 	pads    []*padCache       // per processor
@@ -131,11 +132,12 @@ type Layer struct {
 }
 
 // New creates the layer for nprocs processors over backing, deriving pads
-// from key.
-func New(backing *mem.Store, key aes.Block, nprocs int, params Params) *Layer {
+// under cipher (any crypto.BlockCipher backend; the SHU key is bound at
+// construction time by the caller).
+func New(backing *mem.Store, cipher crypto.BlockCipher, nprocs int, params Params) *Layer {
 	l := &Layer{
 		params:     params,
-		cipher:     aes.NewFromBlock(key),
+		cipher:     cipher,
 		backing:    backing,
 		seq:        make(map[uint64]uint64),
 		pendingReq: make(map[int]uint64),

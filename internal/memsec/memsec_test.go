@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"senss/internal/bus"
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/mem"
 	"senss/internal/rng"
@@ -14,7 +15,7 @@ func newLayer(t *testing.T, nprocs int, params Params) (*Layer, *mem.Store) {
 	t.Helper()
 	store := mem.New()
 	r := rng.New(99)
-	return New(store, aes.Block(r.Block16()), nprocs, params), store
+	return New(store, crypto.MustBackend(crypto.Ref, aes.Block(r.Block16())), nprocs, params), store
 }
 
 func fetch(l *Layer, src int, addr uint64) ([]byte, uint64) {

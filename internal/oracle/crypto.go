@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"senss/internal/core"
+	"senss/internal/crypto"
 	"senss/internal/crypto/aes"
 	"senss/internal/crypto/ct"
 	"senss/internal/crypto/gf128"
@@ -15,7 +16,11 @@ import (
 // mutual agreement can never see (all members reusing a stale pad still
 // agree with each other, but not with the schedule).
 type groupRef struct {
-	cipher *aes.Cipher
+	// cipher is always the "ref" backend regardless of the system under
+	// test's Params.Backend: the oracle recomputes the schedule from an
+	// independent implementation, so a run under -crypto stdlib gets a
+	// free lockstep cross-check against the reference AES.
+	cipher crypto.BlockCipher
 	gf     bool
 	//senss-lint:secret
 	banks [][]aes.Block
@@ -42,7 +47,7 @@ func (c *Checker) OnEstablish(gid int, key aes.Block, members uint32, encIV, aut
 		tb = aes.BlockSize
 	}
 	ref := &groupRef{
-		cipher:   aes.NewFromBlock(key),
+		cipher:   crypto.MustBackend(crypto.Ref, key),
 		gf:       p.AuthMode == core.AuthGF,
 		tagBytes: tb,
 	}

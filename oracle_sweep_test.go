@@ -3,27 +3,40 @@ package senss
 import (
 	"testing"
 
+	"senss/internal/crypto"
 	"senss/internal/machine"
 	"senss/internal/workload"
 )
 
 // TestOracleSweepClean runs every workload of the Figure 6 sweep at test
-// size with the lockstep differential oracle attached, in both the
-// unprotected baseline and the SENSS configuration. The timed simulator
-// must agree with the untimed reference models on every bus transaction,
-// every decrypted payload, and every authentication tag.
+// size with the lockstep differential oracle attached, in the unprotected
+// baseline and in the SENSS configuration under each crypto backend. The
+// timed simulator must agree with the untimed reference models on every
+// bus transaction, every decrypted payload, and every authentication tag
+// — and because the oracle always recomputes with the reference AES, the
+// stdlib-backend rows are a full lockstep cross-check of the fast cipher
+// against the reference implementation.
 func TestOracleSweepClean(t *testing.T) {
-	modes := []machine.SecurityMode{machine.SecurityOff, machine.SecurityBus}
+	cases := []struct {
+		label   string
+		mode    machine.SecurityMode
+		backend string
+	}{
+		{machine.SecurityOff.String(), machine.SecurityOff, ""},
+		{machine.SecurityBus.String(), machine.SecurityBus, crypto.Ref},
+		{machine.SecurityBus.String() + "-stdlib", machine.SecurityBus, crypto.Stdlib},
+	}
 	for _, name := range PaperSuite() {
-		for _, mode := range modes {
-			name, mode := name, mode
-			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+		for _, tc := range cases {
+			name, tc := name, tc
+			t.Run(name+"/"+tc.label, func(t *testing.T) {
 				cfg := DefaultConfig()
 				cfg.Procs = 4
 				cfg.Coherence.L1Size = 4 << 10
 				cfg.Coherence.L2Size = 64 << 10
 				cfg.CPU.CodeBytes = 2 << 10
-				cfg.Security.Mode = mode
+				cfg.Security.Mode = tc.mode
+				cfg.Security.Senss.Backend = tc.backend
 				cfg.Security.Senss.Perfect = true
 				cfg.Security.Senss.AuthInterval = 100
 				cfg.Oracle = true
