@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint taintflow hotpath race farm-race oracle fuzz-smoke figures bench-sim bench-crypto speed-smoke verify clean
+.PHONY: all build test vet lint taintflow hotpath race farm-race serve-race oracle fuzz-smoke figures bench-sim bench-crypto bench-serve speed-smoke serve-smoke verify clean
 
 all: verify
 
@@ -38,6 +38,13 @@ race:
 farm-race:
 	$(GO) test -race -count=3 ./internal/farm
 
+# serve-race hammers the serving layer under the race detector: the
+# lock-striped session table, the quota accountant, the bounded pool,
+# and the 64-session concurrency test whose served stats must stay
+# byte-identical to serial driver.Run.
+serve-race:
+	$(GO) test -race ./internal/serve
+
 # oracle runs the shape-regression suite with the lockstep differential
 # oracle attached (SENSS_ORACLE=1): every bus transaction is replayed
 # against the untimed coherence and crypto reference models at zero
@@ -72,15 +79,27 @@ bench-sim: build
 bench-crypto: build
 	$(GO) run ./cmd/senss-speed
 
+# bench-serve records the serving-layer trajectory point (sessions/sec,
+# step-latency percentiles, peak SHU-group occupancy under M tenants x K
+# sessions) in BENCH_serve.json.
+bench-serve: build
+	$(GO) run ./cmd/senss-serve bench
+
 # speed-smoke is the cheap senss-speed invocation verify runs: quick
 # intervals, output to a scratch file, but the full backend sweep and the
 # cross-backend cycle-identity gate still execute.
 speed-smoke: build
 	$(GO) run ./cmd/senss-speed -quick -out /tmp/senss-speed-smoke.json
 
+# serve-smoke drives one secured session per tenant through the real
+# HTTP surface on an ephemeral port and checks the group accounting
+# drains to zero — the serving layer's end-to-end self-test.
+serve-smoke: build
+	$(GO) run ./cmd/senss-serve serve -smoke
+
 # verify is the full pre-merge gate: everything CI runs, in order of
 # increasing cost.
-verify: build vet lint test farm-race race oracle speed-smoke fuzz-smoke
+verify: build vet lint test farm-race serve-race race oracle speed-smoke serve-smoke fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"senss"
@@ -489,6 +490,9 @@ func cmdBenchSim(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := validWorkload(*name); err != nil {
+		return err
+	}
 	// The throughput baseline runs the unprotected machine at the bench
 	// suite's scale (BenchmarkSimulator in bench_test.go uses the same
 	// geometry), so trajectory points stay comparable across PRs.
@@ -544,6 +548,19 @@ func cmdBenchSim(args []string) error {
 	fmt.Printf("%d sim mem ops in %.2fs = %.0f ops/s, %.2f allocs/op, %.1f bytes/op -> %s\n",
 		ops, dur.Seconds(), report.OpsPerSecond, report.AllocsPerOp, report.BytesPerOp, *out)
 	return nil
+}
+
+// validWorkload rejects an unknown -workload before any warmup work, so
+// a typo fails fast with the available names instead of partway into a
+// measurement.
+func validWorkload(name string) error {
+	names := senss.WorkloadNames()
+	for _, n := range names {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown workload %q (available: %s)", name, strings.Join(names, ", "))
 }
 
 func emitJSON(v any) error { return emitJSONTo(os.Stdout, v) }

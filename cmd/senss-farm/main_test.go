@@ -143,3 +143,50 @@ func TestStatusJSON(t *testing.T) {
 		t.Errorf("counts = %d/%d/%d, want 1/0/1", done, failed, pending)
 	}
 }
+
+// TestValidWorkload pins the bench-sim -workload guard: every built-in
+// name passes, a typo fails fast naming the available set.
+func TestValidWorkload(t *testing.T) {
+	for _, name := range workload.AllNames() {
+		if err := validWorkload(name); err != nil {
+			t.Errorf("validWorkload(%q) = %v", name, err)
+		}
+	}
+	err := validWorkload("oceen")
+	if err == nil {
+		t.Fatal("typo accepted")
+	}
+	if !strings.Contains(err.Error(), `"oceen"`) || !strings.Contains(err.Error(), "ocean") {
+		t.Fatalf("error does not name the typo and the available set: %v", err)
+	}
+}
+
+// TestBenchSimRecordsWorkload runs one tiny bench-sim measurement and
+// pins that the emitted record carries the workload that produced it —
+// trajectory points from different workloads must never be conflated.
+func TestBenchSimRecordsWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two simulations")
+	}
+	out := t.TempDir() + "/BENCH_sim.json"
+	if err := cmdBenchSim([]string{"-workload", "lockcontend", "-iters", "1", "-out", out}); err != nil {
+		t.Fatalf("bench-sim: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep simBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid report JSON: %v\n%s", err, data)
+	}
+	if rep.Workload != "lockcontend" || rep.Iterations != 1 {
+		t.Fatalf("report workload=%q iters=%d, want lockcontend/1", rep.Workload, rep.Iterations)
+	}
+	if rep.SimMemOps == 0 || rep.OpsPerSecond <= 0 {
+		t.Fatalf("implausible measurement: %+v", rep)
+	}
+	if err := cmdBenchSim([]string{"-workload", "oceen"}); err == nil {
+		t.Fatal("bench-sim accepted unknown workload")
+	}
+}

@@ -27,6 +27,20 @@ var orchestrationPkgs = map[string]bool{
 	// function of its input bytes with fixed seeds, so timing can never
 	// feed back into simulated results.
 	"internal/fuzzing": true,
+
+	// internal/serve hosts simulations behind HTTP: goroutines carry the
+	// eviction janitor and request handlers, and wall-clock reads drive
+	// idle-session eviction, Retry-After hints, and bench latency
+	// percentiles. Audited 2026-08: every simulation advances only
+	// through driver.Session.Step under the per-session Hosted mutex,
+	// and a step's slice boundary cannot change results —
+	// sim.Engine.RunUntil retires the identical event sequence a
+	// monolithic Run would (pinned byte-identical by
+	// TestServeConcurrentSessionsMatchSerial). The clock decides only
+	// *whether* a session is stepped or evicted, never what the
+	// simulation computes; internal/sim and internal/core stay fully
+	// deterministic.
+	"internal/serve": true,
 }
 
 // AnalyzerNondeterm bans host-nondeterminism primitives from the simulator

@@ -1041,6 +1041,16 @@ func taintSinkOf(fn *types.Func) (string, bool) {
 		if name == "WriteFile" || name == "Write" || name == "WriteString" {
 			return "os." + name, true
 		}
+	case "net/http":
+		// HTTP responses are the serving layer's wire: ResponseWriter.Write
+		// (an interface method, so it also catches every concrete writer
+		// resolved through it) and http.Error both publish their argument
+		// bytes to a remote client. Secret material must be reduced to a
+		// SessionFP fingerprint (ct.Fingerprint / sha256) before it may
+		// appear in a response body.
+		if name == "Write" || name == "Error" {
+			return "net/http." + name, true
+		}
 	case "senss/internal/trace":
 		return "trace." + name, true
 	}

@@ -1,0 +1,47 @@
+package taint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// This file plants the serving-layer leak class: a mislabeled HTTP
+// handler that writes session-key material into a response body. The
+// net/http sinks (ResponseWriter.Write resolved through the interface,
+// and http.Error) must flag raw material, while the sanctioned
+// fingerprint reduction stays unreported — the only shape a served
+// divergence report may take.
+
+// LeakHandlerWrite streams the raw group key to a remote client.
+func LeakHandlerWrite(w http.ResponseWriter, v *Vault) {
+	k := v.Key
+	w.Write(k) // want `flows into net/http.Write`
+}
+
+// LeakHandlerError folds the key into an HTTP error body: taint through
+// a string conversion.
+func LeakHandlerError(w http.ResponseWriter, v *Vault) {
+	http.Error(w, string(v.Key), http.StatusForbidden) // want `flows into net/http.Error`
+}
+
+// keyReport mimics a divergence report that forgot redaction.
+type keyReport struct {
+	Material []byte `json:"material"`
+}
+
+// LeakHandlerJSON serializes the key straight onto the response: the
+// encoder sink catches JSON-to-HTTP even though the writer itself is
+// the receiver.
+func LeakHandlerJSON(w http.ResponseWriter, v *Vault) error {
+	return json.NewEncoder(w).Encode(keyReport{Material: v.Key}) // want `flows into encoding/json.Encode`
+}
+
+// CleanHandlerFingerprint serves the sha256 session fingerprint — the
+// declassified form a real report carries — and must stay unreported.
+func CleanHandlerFingerprint(w http.ResponseWriter, v *Vault) {
+	fp := sha256.Sum256(v.Key)
+	fmt.Fprintf(w, "session %x\n", fp[:8])
+	w.Write(fp[:])
+}

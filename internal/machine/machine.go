@@ -200,6 +200,7 @@ type Machine struct {
 	rand      *rng.Rand
 	allocNext uint64
 	loaded    bool
+	started   bool
 	planned   [][]int  // processor subsets for planned SENSS groups
 	nodeCode  []uint64 // per-processor text region base (per-group text)
 	procKeys  map[int]*core.ProcessorKeys
@@ -544,9 +545,30 @@ func (m *Machine) dispatchGroup(procs []int, members uint32) int {
 // Run executes one program per processor (len(programs) ≤ Procs) to
 // completion and returns the measurements.
 func (m *Machine) Run(programs []cpu.Program) (stats.Run, error) {
-	if len(programs) > m.Config.Procs {
-		return stats.Run{}, fmt.Errorf("machine: %d programs for %d processors", len(programs), m.Config.Procs)
+	if err := m.Start(programs); err != nil {
+		return stats.Run{}, err
 	}
+	err := m.Engine.Run()
+	run := m.Collect()
+	if err != nil {
+		return run, err
+	}
+	return run, nil
+}
+
+// Start loads the memory image and spawns one program per processor
+// (len(programs) ≤ Procs) without running the simulation: the caller
+// drives execution through Step (or Engine.Run). Run is exactly
+// Start + Engine.Run, so a stepped machine retires the identical event
+// sequence a monolithic run would.
+func (m *Machine) Start(programs []cpu.Program) error {
+	if m.started {
+		return fmt.Errorf("machine: Start called twice")
+	}
+	if len(programs) > m.Config.Procs {
+		return fmt.Errorf("machine: %d programs for %d processors", len(programs), m.Config.Procs)
+	}
+	m.started = true
 	m.Load()
 	for i, prog := range programs {
 		if prog == nil {
@@ -562,12 +584,27 @@ func (m *Machine) Run(programs []cpu.Program) (stats.Run, error) {
 			port.Done = true
 		})
 	}
-	err := m.Engine.Run()
-	run := m.Collect()
-	if err != nil {
-		return run, err
+	return nil
+}
+
+// Step advances a started machine by at most maxCycles simulated cycles,
+// reporting whether the simulation completed. Slice boundaries never
+// change what the simulation computes (sim.Engine.RunUntil).
+func (m *Machine) Step(maxCycles uint64) (done bool, err error) {
+	deadline := m.Engine.Now() + maxCycles
+	if deadline < m.Engine.Now() { // overflow: run to completion
+		deadline = ^uint64(0)
 	}
-	return run, nil
+	return m.Engine.RunUntil(deadline)
+}
+
+// Abort tears down a partially executed machine: every simulated
+// processor is unwound, pending events are dropped, and Shutdown
+// reclaims and zeroizes the SENSS group sessions. Counters stay readable
+// (Collect); the machine cannot run again.
+func (m *Machine) Abort() {
+	m.Engine.Abort()
+	m.Shutdown()
 }
 
 // Collect gathers the current counters into a stats.Run.

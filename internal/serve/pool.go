@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverloaded is returned by Pool.Do when both the worker slots and
+// the admission backlog are full — the server's backpressure signal,
+// surfaced to clients as HTTP 429 + Retry-After.
+var ErrOverloaded = errors.New("serve: worker pool saturated")
+
+// Pool bounds how many simulation slices execute concurrently and how
+// many callers may wait for a slot. It reuses internal/farm's
+// panic-isolation discipline: a panicking simulation becomes an error
+// confined to its task, never a crashed server.
+type Pool struct {
+	workers int
+	backlog int
+	// slots admits workers+backlog tasks; sem serializes execution down
+	// to workers. Admission is non-blocking (backpressure), execution
+	// waits its turn.
+	slots chan struct{}
+	sem   chan struct{}
+}
+
+// NewPool builds a pool with the given concurrency and waiting-room
+// bounds (minimums of 1 and 0 are enforced).
+func NewPool(workers, backlog int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	return &Pool{
+		workers: workers,
+		backlog: backlog,
+		slots:   make(chan struct{}, workers+backlog),
+		sem:     make(chan struct{}, workers),
+	}
+}
+
+// Do runs fn on the caller's goroutine under the pool's bounds. It
+// returns ErrOverloaded immediately when the pool is saturated, and
+// converts a panic inside fn into an error (farm's isolation pattern).
+func (p *Pool) Do(fn func() error) error {
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		return ErrOverloaded
+	}
+	defer func() { <-p.slots }()
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	return safeCall(fn)
+}
+
+// safeCall invokes fn with panic isolation.
+func safeCall(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: task panicked: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// InFlight returns how many tasks are admitted (executing or queued).
+func (p *Pool) InFlight() int { return len(p.slots) }
+
+// Workers returns the execution bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Backlog returns the waiting-room bound.
+func (p *Pool) Backlog() int { return p.backlog }

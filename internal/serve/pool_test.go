@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(2, 2)
+	ran := false
+	if err := p.Do(func() error { ran = true; return nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	wantErr := errors.New("boom")
+	if err := p.Do(func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("Do error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestPoolOverload(t *testing.T) {
+	p := NewPool(1, 0)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Do(func() error { close(started); <-block; return nil })
+	}()
+	<-started
+	if err := p.Do(func() error { return nil }); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated Do = %v, want ErrOverloaded", err)
+	}
+	if got := p.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1", got)
+	}
+	close(block)
+	wg.Wait()
+	if err := p.Do(func() error { return nil }); err != nil {
+		t.Fatalf("Do after drain: %v", err)
+	}
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+}
+
+// TestPoolBacklogAdmitsBeyondWorkers checks the waiting room: a task
+// beyond the worker count is admitted (blocking) rather than rejected.
+func TestPoolBacklogAdmitsBeyondWorkers(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Do(func() error { close(started); <-block; return nil })
+	}()
+	<-started
+	queuedRan := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Do(func() error { close(queuedRan); return nil })
+	}()
+	// Wait until the queued task holds the second admission slot, then a
+	// third task must bounce.
+	for p.InFlight() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Do(func() error { return nil }); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third Do = %v, want ErrOverloaded", err)
+	}
+	close(block)
+	<-queuedRan
+	wg.Wait()
+}
+
+func TestPoolPanicIsolation(t *testing.T) {
+	p := NewPool(1, 0)
+	err := p.Do(func() error { panic("sim exploded") })
+	if err == nil || !strings.Contains(err.Error(), "sim exploded") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	// The pool is reusable after a panic — no leaked slot.
+	if err := p.Do(func() error { return nil }); err != nil {
+		t.Fatalf("Do after panic: %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"senss/internal/core"
+)
+
+// QuotaError is the typed group-exhaustion error: either the service-wide
+// SHU group matrix (paper §3.2, 1024 concurrent secured groups) or one
+// tenant's slice of it is full. It unwraps to core.ErrGroupsExhausted so
+// callers can errors.Is against the simulator's own exhaustion sentinel,
+// and maps to HTTP 429 with code "groups_exhausted".
+type QuotaError struct {
+	Tenant    string // "" for global exhaustion
+	Requested int
+	InUse     int // current occupancy of the exhausted scope
+	Limit     int // capacity of the exhausted scope
+}
+
+func (e *QuotaError) Error() string {
+	if e.Tenant == "" {
+		return fmt.Sprintf("serve: SHU group table exhausted (%d/%d in use, %d requested)",
+			e.InUse, e.Limit, e.Requested)
+	}
+	return fmt.Sprintf("serve: tenant %q group quota exhausted (%d/%d in use, %d requested)",
+		e.Tenant, e.InUse, e.Limit, e.Requested)
+}
+
+// Unwrap ties the serving-layer error to the SHU's own sentinel.
+func (e *QuotaError) Unwrap() error { return core.ErrGroupsExhausted }
+
+// Accountant is the service-wide SHU group allocator. Every hosted
+// machine owns a private 1024-entry group table, but the service models
+// the fleet as one shared matrix: secured sessions draw from a global
+// capacity (default core.MaxGroups) and from their tenant's quota, so
+// group exhaustion and per-tenant fairness become real served scenarios
+// instead of per-machine trivia.
+type Accountant struct {
+	mu       sync.Mutex
+	capacity int
+	quota    int // per-tenant limit; 0 = bounded only by capacity
+	inUse    int
+	peak     int
+	byTenant map[string]int
+}
+
+// NewAccountant builds an accountant with the given global capacity
+// (<= 0 selects core.MaxGroups) and per-tenant quota (0 = unlimited).
+func NewAccountant(capacity, tenantQuota int) *Accountant {
+	if capacity <= 0 {
+		capacity = core.MaxGroups
+	}
+	return &Accountant{
+		capacity: capacity,
+		quota:    tenantQuota,
+		byTenant: make(map[string]int),
+	}
+}
+
+// Acquire reserves n groups for the tenant, or fails with a *QuotaError
+// naming the exhausted scope. n == 0 always succeeds.
+func (a *Accountant) Acquire(tenant string, n int) error {
+	if n == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inUse+n > a.capacity {
+		return &QuotaError{Requested: n, InUse: a.inUse, Limit: a.capacity}
+	}
+	if a.quota > 0 && a.byTenant[tenant]+n > a.quota {
+		return &QuotaError{Tenant: tenant, Requested: n, InUse: a.byTenant[tenant], Limit: a.quota}
+	}
+	a.inUse += n
+	a.byTenant[tenant] += n
+	if a.inUse > a.peak {
+		a.peak = a.inUse
+	}
+	return nil
+}
+
+// Release returns n groups from the tenant.
+func (a *Accountant) Release(tenant string, n int) {
+	if n == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inUse -= n
+	if a.inUse < 0 {
+		panic("serve: accountant released more groups than acquired")
+	}
+	a.byTenant[tenant] -= n
+	if a.byTenant[tenant] <= 0 {
+		delete(a.byTenant, tenant)
+	}
+}
+
+// InUse returns the current global occupancy.
+func (a *Accountant) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// Peak returns the high-water occupancy since construction.
+func (a *Accountant) Peak() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Capacity returns the global capacity.
+func (a *Accountant) Capacity() int { return a.capacity }
+
+// TenantQuota returns the per-tenant limit (0 = unlimited).
+func (a *Accountant) TenantQuota() int { return a.quota }
+
+// ByTenant returns a copy of the per-tenant occupancy map.
+func (a *Accountant) ByTenant() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.byTenant))
+	for k, v := range a.byTenant {
+		out[k] = v
+	}
+	return out
+}

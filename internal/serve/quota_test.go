@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"senss/internal/core"
+)
+
+func TestAccountantGlobalExhaustion(t *testing.T) {
+	a := NewAccountant(2, 0)
+	if err := a.Acquire("a", 1); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := a.Acquire("b", 1); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	err := a.Acquire("c", 1)
+	if err == nil {
+		t.Fatal("third acquire succeeded beyond capacity")
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error type %T, want *QuotaError", err)
+	}
+	if qe.Tenant != "" {
+		t.Fatalf("exhausted scope tenant = %q, want global", qe.Tenant)
+	}
+	// The serving-layer error unwraps to the simulator's own sentinel.
+	if !errors.Is(err, core.ErrGroupsExhausted) {
+		t.Fatal("QuotaError does not unwrap to core.ErrGroupsExhausted")
+	}
+	a.Release("a", 1)
+	if err := a.Acquire("c", 1); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestAccountantTenantQuota(t *testing.T) {
+	a := NewAccountant(10, 2)
+	if err := a.Acquire("a", 2); err != nil {
+		t.Fatalf("within quota: %v", err)
+	}
+	err := a.Acquire("a", 1)
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Tenant != "a" {
+		t.Fatalf("over-quota error = %v, want tenant-scoped *QuotaError", err)
+	}
+	// Another tenant is unaffected by a's exhaustion.
+	if err := a.Acquire("b", 2); err != nil {
+		t.Fatalf("tenant b blocked by a's quota: %v", err)
+	}
+	if got := a.InUse(); got != 4 {
+		t.Fatalf("InUse = %d, want 4", got)
+	}
+	if got := a.Peak(); got != 4 {
+		t.Fatalf("Peak = %d, want 4", got)
+	}
+	by := a.ByTenant()
+	if by["a"] != 2 || by["b"] != 2 {
+		t.Fatalf("ByTenant = %v", by)
+	}
+	a.Release("a", 2)
+	if by := a.ByTenant(); by["a"] != 0 {
+		t.Fatalf("tenant a still tracked after release: %v", by)
+	}
+	if got := a.Peak(); got != 4 {
+		t.Fatalf("Peak dropped to %d after release", got)
+	}
+}
+
+func TestAccountantZeroIsFree(t *testing.T) {
+	a := NewAccountant(0, 1)
+	if a.Capacity() != core.MaxGroups {
+		t.Fatalf("default capacity = %d, want %d", a.Capacity(), core.MaxGroups)
+	}
+	// Unsecured sessions (0 groups) never hit the quota.
+	for i := 0; i < 5; i++ {
+		if err := a.Acquire("a", 0); err != nil {
+			t.Fatalf("zero acquire: %v", err)
+		}
+	}
+	if a.InUse() != 0 {
+		t.Fatalf("InUse = %d after zero acquires", a.InUse())
+	}
+}
+
+func TestAccountantOverReleasePanics(t *testing.T) {
+	a := NewAccountant(4, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	a.Release("a", 1)
+}

@@ -67,11 +67,15 @@ type Engine struct {
 	// cycle heap-allocates (hotpath discipline, DESIGN.md §13).
 	free []*event
 	// yield receives control back from the currently running proc.
-	yield   chan struct{}
-	live    int // procs spawned and not yet finished
-	limit   uint64
-	halted  bool
-	haltMsg string
+	yield chan struct{}
+	live  int // procs spawned and not yet finished
+	// procs registers every spawned proc so Abort can reach the ones
+	// parked outside the event heap (wait queues hold them privately).
+	procs    []*Proc
+	limit    uint64
+	halted   bool
+	haltMsg  string
+	aborting bool
 }
 
 // newEvent pops a recycled event record or allocates a fresh one.
@@ -154,17 +158,34 @@ func (p *Proc) Engine() *Engine { return p.e }
 //senss-lint:hotpath
 func (p *Proc) Now() uint64 { return p.e.now }
 
+// procAborted is the sentinel Sleep/Park panic with when the engine is
+// tearing down; the Spawn wrapper recovers it and retires the proc.
+type abortSentinel struct{}
+
+var procAborted = abortSentinel{}
+
 // Spawn creates a proc running fn, started at the current cycle (after
 // already-queued events at this cycle).
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{e: e, wake: make(chan struct{}), name: name}
 	e.live++
+	e.procs = append(e.procs, p)
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, aborted := r.(abortSentinel); !aborted {
+					panic(r) // a genuine simulation bug keeps crashing loudly
+				}
+			}
+			p.done = true
+			e.live--
+			e.yield <- struct{}{}
+		}()
 		<-p.wake // wait for the start event to hand us the token
+		if e.aborting {
+			return // unwound before the program ever ran
+		}
 		fn(p)
-		p.done = true
-		e.live--
-		e.yield <- struct{}{}
 	}()
 	e.Schedule(e.now, func() { e.resume(p) })
 	return p
@@ -193,6 +214,9 @@ func (p *Proc) Sleep(d uint64) {
 	heap.Push(&e.events, e.newEvent(e.now+d, e.seq, nil, p))
 	e.yield <- struct{}{}
 	<-p.wake
+	if e.aborting {
+		panic(procAborted)
+	}
 }
 
 // Park suspends the proc indefinitely; another party must wake it via a
@@ -203,6 +227,9 @@ func (p *Proc) Park() {
 	p.parked = true
 	p.e.yield <- struct{}{}
 	<-p.wake
+	if p.e.aborting {
+		panic(procAborted)
+	}
 }
 
 // Unpark schedules parked proc q to resume at the current cycle. It may be
@@ -241,9 +268,35 @@ func (e *Engine) SetLimit(limit uint64) { e.limit = limit }
 //
 //senss-lint:hotpath
 func (e *Engine) Run() error {
+	_, err := e.RunUntil(^uint64(0))
+	return err
+}
+
+// RunUntil processes events whose cycle is <= deadline, then stops with
+// the clock advanced to deadline. It returns done == true when the
+// simulation finished (no events remain, the engine halted, or an error
+// ended the run) and done == false when events beyond the deadline are
+// still pending. Slicing is invisible to the simulation: events are
+// dispatched in exactly the (cycle, sequence) order Run would use, so a
+// run chopped into arbitrary slices retires the same events at the same
+// cycles and produces bit-identical state — the property the serving
+// layer's incremental sessions (internal/driver.Session) rely on.
+//
+//senss-lint:hotpath
+func (e *Engine) RunUntil(deadline uint64) (done bool, err error) {
 	for len(e.events) > 0 {
 		if e.halted {
-			return nil
+			return true, nil
+		}
+		if e.events[0].at > deadline {
+			// The slice is exhausted: advance the clock so the next
+			// slice's deadline moves forward even across empty gaps.
+			// This never affects the final state — completion below
+			// happens while popping events, with now at the last event.
+			if deadline > e.now {
+				e.now = deadline
+			}
+			return false, nil
 		}
 		ev := heap.Pop(&e.events).(*event)
 		if ev.at < e.now {
@@ -252,7 +305,7 @@ func (e *Engine) Run() error {
 		e.now = ev.at
 		if e.limit != 0 && e.now > e.limit {
 			//senss-lint:ignore hotpath failure path: the run is over, one error record is fine
-			return &LimitError{Limit: e.limit}
+			return true, &LimitError{Limit: e.limit}
 		}
 		// Recycle the record before dispatch: nothing references it once
 		// popped, and the dispatched proc/fn may schedule new events that
@@ -267,9 +320,27 @@ func (e *Engine) Run() error {
 	}
 	if e.live > 0 {
 		//senss-lint:ignore hotpath failure path: the run is over, one error record is fine
-		return &DeadlockError{Cycle: e.now, Parked: e.parkedNames()}
+		return true, &DeadlockError{Cycle: e.now, Parked: e.parkedNames()}
 	}
-	return nil
+	return true, nil
+}
+
+// Abort tears the simulation down mid-run: every live proc — parked,
+// sleeping, or not yet started — is resumed once into a sentinel panic
+// that unwinds its goroutine, and the event queue is dropped. Must be
+// called from engine-caller context (never from inside a proc or event
+// callback). The engine is unusable afterwards; counters and the clock
+// remain readable. Idempotent.
+func (e *Engine) Abort() {
+	e.aborting = true
+	for _, p := range e.procs {
+		if !p.done {
+			e.resume(p)
+		}
+	}
+	e.procs = nil
+	e.events = nil
+	e.free = nil
 }
 
 // parkedNames describes the still-live procs for the deadlock report.

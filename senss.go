@@ -101,17 +101,10 @@ func RunWorkload(name string, size Size, cfg Config) (Run, error) {
 
 // Compare runs the workload on the unprotected baseline and on cfg,
 // returning both measurements. cfg.Security.Mode selects the protected
-// variant; the baseline copies cfg with security off.
+// variant; the baseline copies cfg with security off. The implementation
+// is internal/driver.Compare, shared with the serving and farm layers.
 func Compare(name string, size Size, cfg Config) (base, secure Run, err error) {
-	baseCfg := cfg
-	baseCfg.Security.Mode = machine.SecurityOff
-	baseCfg.Security.Naive = false
-	base, err = RunWorkload(name, size, baseCfg)
-	if err != nil {
-		return base, secure, err
-	}
-	secure, err = RunWorkload(name, size, cfg)
-	return base, secure, err
+	return driver.Compare(name, size, cfg)
 }
 
 // SlowdownPct is the paper's "% slowdown" metric.
