@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint taintflow hotpath race farm-race serve-race oracle fuzz-smoke figures bench-sim bench-crypto bench-serve speed-smoke serve-smoke verify clean
+.PHONY: all build test vet lint taintflow hotpath race farm-race serve-race oracle fuzz-smoke figures bench-sim bench-check bench-crypto bench-serve speed-smoke serve-smoke verify clean
 
 all: verify
 
@@ -67,11 +67,18 @@ fuzz-smoke: build
 figures: build
 	$(GO) run ./cmd/senss-tables -fig all -cache-dir .senss-cache
 
-# bench-sim records the raw-substrate trajectory point (simulated memory
+# bench-sim records the raw-substrate trajectory points (simulated memory
 # ops per host second, host allocations per simulated op) in
-# BENCH_sim.json — the pinned baseline for ROADMAP-3 performance work.
+# BENCH_sim.json: one record per workload at the 4-proc bench geometry
+# plus the 1-proc engine record — the pinned baseline for performance work.
 bench-sim: build
 	$(GO) run ./cmd/senss-farm bench-sim
+
+# bench-check re-measures every committed BENCH_sim.json record and fails
+# on a >15% ops/sec regression — the performance ratchet guarding the
+# engine hot path. Part of `verify`.
+bench-check: build
+	$(GO) run ./cmd/senss-farm bench-check
 
 # bench-crypto records the crypto-backend trajectory point (block
 # encrypt, pad stream, CBC-MAC, and end-to-end secured throughput per
@@ -99,7 +106,7 @@ serve-smoke: build
 
 # verify is the full pre-merge gate: everything CI runs, in order of
 # increasing cost.
-verify: build vet lint test farm-race serve-race race oracle speed-smoke serve-smoke fuzz-smoke
+verify: build vet lint test farm-race serve-race race oracle speed-smoke serve-smoke bench-check fuzz-smoke
 
 clean:
 	$(GO) clean ./...

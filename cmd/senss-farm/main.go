@@ -59,6 +59,8 @@ func main() {
 		err = cmdBench(args)
 	case "bench-sim":
 		err = cmdBenchSim(args)
+	case "bench-check":
+		err = cmdBenchCheck(args)
 	case "lint":
 		err = cmdLint(args)
 	case "help", "-h", "-help", "--help":
@@ -87,7 +89,11 @@ usage: senss-farm <run|warm|status|gc|bench|bench-sim|lint> [flags]
           sweep and write the BENCH_farm.json trajectory point
   bench-sim
           measure raw simulator throughput and allocation rate on the
-          unprotected machine and write the BENCH_sim.json baseline
+          unprotected machine across every workload and write the
+          BENCH_sim.json baseline
+  bench-check
+          re-measure the BENCH_sim.json workloads and fail on a >15%
+          ops/sec regression against the committed records
   lint    run the senss-lint suite content-addressed: verdicts cache
           under a hash of the analyzer set + all sources
 
@@ -463,16 +469,19 @@ func cmdBench(args []string) error {
 	return nil
 }
 
-// simBenchReport is the BENCH_sim.json trajectory point: raw substrate
+// simBenchReport is one BENCH_sim.json trajectory point: raw substrate
 // throughput (simulated memory operations and cycles per host second) and
 // the host-side allocation rate per simulated operation — the number the
-// hotpath discipline (DESIGN.md section 13) exists to keep down.
+// hotpath discipline (DESIGN.md section 13) exists to keep down. The file
+// holds one record per swept workload at the 4-processor bench geometry,
+// plus one single-processor engine record (see benchSimJobs).
 type simBenchReport struct {
 	Benchmark    string  `json:"benchmark"`
 	Date         string  `json:"date"`
 	HostCPUs     int     `json:"host_cpus"`
 	Gomaxprocs   int     `json:"gomaxprocs"`
 	Workload     string  `json:"workload"`
+	Procs        int     `json:"procs"`
 	Iterations   int     `json:"iterations"`
 	Seconds      float64 `json:"seconds"`
 	SimMemOps    uint64  `json:"sim_mem_ops"`
@@ -482,41 +491,56 @@ type simBenchReport struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 }
 
-func cmdBenchSim(args []string) error {
-	fs := flag.NewFlagSet("senss-farm bench-sim", flag.ExitOnError)
-	name := fs.String("workload", "ocean", "workload driving the substrate")
-	iters := fs.Int("iters", 5, "measured repetitions")
-	out := fs.String("out", "BENCH_sim.json", "output file")
-	if err := fs.Parse(args); err != nil {
-		return err
+// benchSimProcs is the multiprocessor bench geometry's processor count,
+// matching BenchmarkSimulator in bench_test.go.
+const benchSimProcs = 4
+
+// simBenchJob names one measurement of the sweep.
+type simBenchJob struct {
+	Workload string
+	Procs    int
+}
+
+// benchSimJobs returns the sweep's job list: every workload at the
+// 4-processor bench geometry, then one single-processor record. The
+// 1-proc row isolates raw engine dispatch throughput — with one runnable
+// proc there are no cross-proc scheduler handoffs and no bus contention,
+// so it tracks the scheduler fast path that multiprocessor rows dilute
+// with (simulated) lock and arbitration traffic.
+func benchSimJobs(names []string) []simBenchJob {
+	jobs := make([]simBenchJob, 0, len(names)+1)
+	for _, n := range names {
+		jobs = append(jobs, simBenchJob{Workload: n, Procs: benchSimProcs})
 	}
-	if err := validWorkload(*name); err != nil {
-		return err
-	}
+	jobs = append(jobs, simBenchJob{Workload: "ocean", Procs: 1})
+	return jobs
+}
+
+// measureSimBench runs one bench-sim measurement: warmup, then iters
+// timed repetitions of the unprotected machine at the bench geometry.
+func measureSimBench(job simBenchJob, iters int) (simBenchReport, error) {
 	// The throughput baseline runs the unprotected machine at the bench
 	// suite's scale (BenchmarkSimulator in bench_test.go uses the same
 	// geometry), so trajectory points stay comparable across PRs.
 	cfg := senss.DefaultConfig()
-	cfg.Procs = 4
+	cfg.Procs = job.Procs
 	cfg.Coherence.L1Size = 4 << 10
 	cfg.Coherence.L2Size = 64 << 10
 	cfg.CPU.CodeBytes = 2 << 10
 
-	fmt.Fprintf(os.Stderr, "bench-sim: warmup (%s)...\n", *name)
-	if _, err := senss.RunWorkload(*name, senss.SizeTest, cfg); err != nil {
-		return err
+	if _, err := senss.RunWorkload(job.Workload, senss.SizeTest, cfg); err != nil {
+		return simBenchReport{}, err
 	}
 
-	fmt.Fprintf(os.Stderr, "bench-sim: measuring %d runs...\n", *iters)
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	var ops, cycles uint64
 	t0 := time.Now()
-	for i := 0; i < *iters; i++ {
-		run, err := senss.RunWorkload(*name, senss.SizeTest, cfg)
+	for i := 0; i < iters; i++ {
+		run, err := senss.RunWorkload(job.Workload, senss.SizeTest, cfg)
 		if err != nil {
-			return err
+			return simBenchReport{}, err
 		}
 		ops += run.Loads + run.Stores + run.RMWs
 		cycles += run.Cycles
@@ -524,29 +548,145 @@ func cmdBenchSim(args []string) error {
 	dur := time.Since(t0)
 	runtime.ReadMemStats(&ms1)
 
-	report := simBenchReport{
+	return simBenchReport{
 		Benchmark:    "sim-throughput",
 		Date:         time.Now().UTC().Format(time.RFC3339),
 		HostCPUs:     runtime.NumCPU(),
 		Gomaxprocs:   runtime.GOMAXPROCS(0),
-		Workload:     *name,
-		Iterations:   *iters,
+		Workload:     job.Workload,
+		Procs:        job.Procs,
+		Iterations:   iters,
 		Seconds:      dur.Seconds(),
 		SimMemOps:    ops,
 		SimCycles:    cycles,
 		OpsPerSecond: float64(ops) / dur.Seconds(),
 		AllocsPerOp:  float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
 		BytesPerOp:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(ops),
+	}, nil
+}
+
+// benchSimWorkloads resolves the -workloads flag into a validated name
+// list ("all" means every built-in workload).
+func benchSimWorkloads(list string) ([]string, error) {
+	if list == "all" {
+		return senss.WorkloadNames(), nil
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
+	var names []string
+	for _, n := range strings.Split(list, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if err := validWorkload(n); err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty workload list")
+	}
+	return names, nil
+}
+
+func cmdBenchSim(args []string) error {
+	fs := flag.NewFlagSet("senss-farm bench-sim", flag.ExitOnError)
+	list := fs.String("workloads", "all", `comma-separated workloads to sweep, or "all"`)
+	iters := fs.Int("iters", 5, "measured repetitions per record")
+	out := fs.String("out", "BENCH_sim.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names, err := benchSimWorkloads(*list)
+	if err != nil {
+		return err
+	}
+
+	var reports []simBenchReport
+	for _, job := range benchSimJobs(names) {
+		fmt.Fprintf(os.Stderr, "bench-sim: %s procs=%d (%d iters)...\n", job.Workload, job.Procs, *iters)
+		rep, err := measureSimBench(job, *iters)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s procs=%d  %8d sim mem ops in %6.2fs = %9.0f ops/s, %.2f allocs/op, %.1f bytes/op\n",
+			rep.Workload, rep.Procs, rep.SimMemOps, rep.Seconds, rep.OpsPerSecond, rep.AllocsPerOp, rep.BytesPerOp)
+		reports = append(reports, rep)
+	}
+	data, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("%d sim mem ops in %.2fs = %.0f ops/s, %.2f allocs/op, %.1f bytes/op -> %s\n",
-		ops, dur.Seconds(), report.OpsPerSecond, report.AllocsPerOp, report.BytesPerOp, *out)
+	fmt.Printf("%d records -> %s\n", len(reports), *out)
+	return nil
+}
+
+// benchCheckThreshold is the fraction of the committed ops/sec a fresh
+// measurement must reach; below it bench-check fails the build.
+const benchCheckThreshold = 0.85
+
+// readSimBench loads a BENCH_sim.json record set, accepting both the
+// current array format and the single-record format of older baselines.
+func readSimBench(path string) ([]simBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var reports []simBenchReport
+	if err := json.Unmarshal(data, &reports); err != nil {
+		var one simBenchReport
+		if err2 := json.Unmarshal(data, &one); err2 != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		if one.Procs == 0 {
+			one.Procs = benchSimProcs
+		}
+		reports = []simBenchReport{one}
+	}
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("%s: no records", path)
+	}
+	return reports, nil
+}
+
+// cmdBenchCheck re-measures every committed BENCH_sim.json record and
+// fails on a >15% ops/sec regression — the performance ratchet guarding
+// the engine hot path.
+func cmdBenchCheck(args []string) error {
+	fs := flag.NewFlagSet("senss-farm bench-check", flag.ExitOnError)
+	iters := fs.Int("iters", 3, "measured repetitions per record")
+	in := fs.String("in", "BENCH_sim.json", "committed baseline to check against")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	baseline, err := readSimBench(*in)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, want := range baseline {
+		job := simBenchJob{Workload: want.Workload, Procs: want.Procs}
+		fmt.Fprintf(os.Stderr, "bench-check: %s procs=%d...\n", job.Workload, job.Procs)
+		got, err := measureSimBench(job, *iters)
+		if err != nil {
+			return err
+		}
+		ratio := got.OpsPerSecond / want.OpsPerSecond
+		status := "ok"
+		if ratio < benchCheckThreshold {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s procs=%d: %.0f ops/s vs committed %.0f (%.0f%%)",
+				job.Workload, job.Procs, got.OpsPerSecond, want.OpsPerSecond, 100*ratio))
+		}
+		fmt.Printf("%-12s procs=%d  %9.0f ops/s vs committed %9.0f  (%3.0f%%)  %s\n",
+			job.Workload, job.Procs, got.OpsPerSecond, want.OpsPerSecond, 100*ratio, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("ops/sec regressed >%.0f%% on %d record(s):\n  %s",
+			100*(1-benchCheckThreshold), len(failures), strings.Join(failures, "\n  "))
+	}
 	return nil
 }
 

@@ -1,0 +1,194 @@
+package senss
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"senss/internal/crypto"
+	"senss/internal/driver"
+	"senss/internal/machine"
+	"senss/internal/stats"
+)
+
+// goldenCyclesFile pins the complete measurement table — total cycles,
+// retired-op counts, and every stat the simulator reports — for all five
+// SPLASH2 kernels plus the false-sharing micro, under the unprotected
+// baseline and under both secured modes with both crypto backends. It is
+// the conformance contract for engine rewrites: any scheduler, cache, or
+// bus optimization must reproduce these tables byte-for-byte.
+const goldenCyclesFile = "testdata/golden_cycles.json"
+
+// goldenWorkloads is the conformance surface: the paper's five SPLASH2
+// kernels plus the false-sharing micro-benchmark.
+var goldenWorkloads = []string{"fft", "radix", "barnes", "lu", "ocean", "falseshare"}
+
+// goldenVariants crosses both secured modes with both crypto backends,
+// plus the unprotected baseline (backend-independent, recorded once).
+var goldenVariants = []struct {
+	label   string
+	mode    machine.SecurityMode
+	backend string
+}{
+	{"base", machine.SecurityOff, ""},
+	{"senss/ref", machine.SecurityBus, crypto.Ref},
+	{"senss/stdlib", machine.SecurityBus, crypto.Stdlib},
+	{"senss+mem/ref", machine.SecurityBusMem, crypto.Ref},
+	{"senss+mem/stdlib", machine.SecurityBusMem, crypto.Stdlib},
+}
+
+// goldenConfig is the canonical conformance geometry: the same scaled-down
+// machine as TestGoldenCycleCounts and the oracle sweep, with the lockstep
+// differential oracle attached so every recorded run is also oracle-clean.
+func goldenConfig(mode machine.SecurityMode, backend string) Config {
+	cfg := DefaultConfig()
+	cfg.Procs = 4
+	cfg.Coherence.L1Size = 4 << 10
+	cfg.Coherence.L2Size = 64 << 10
+	cfg.CPU.CodeBytes = 2 << 10
+	cfg.Security.Mode = mode
+	cfg.Security.Senss.Backend = backend
+	cfg.Security.Senss.Perfect = true
+	cfg.Security.Senss.AuthInterval = 100
+	if mode == machine.SecurityBusMem {
+		cfg.Security.Integrity = true
+	}
+	cfg.Oracle = true
+	return cfg
+}
+
+// goldenKey names one record in the golden table.
+func goldenKey(workload, variant string) string { return workload + "/" + variant }
+
+// runGolden executes one conformance cell and asserts the run-level
+// invariants that make the recorded table trustworthy: no simulation
+// error, no security halt, workload-validated, and oracle-clean.
+func runGolden(t *testing.T, name string, cfg Config) stats.Run {
+	t.Helper()
+	run, err := RunWorkload(name, SizeTest, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if run.Halted {
+		t.Fatalf("%s: halted: %s", name, run.HaltReason)
+	}
+	return run
+}
+
+// TestGoldenConformance byte-compares the full stats table of every
+// workload × variant cell against testdata/golden_cycles.json. Regenerate
+// with SENSS_UPDATE_GOLDEN=1 go test -run TestGoldenConformance — but only
+// when the timing model changed on purpose; document why in EXPERIMENTS.md.
+func TestGoldenConformance(t *testing.T) {
+	update := os.Getenv("SENSS_UPDATE_GOLDEN") != ""
+
+	got := make(map[string]stats.Run, len(goldenWorkloads)*len(goldenVariants))
+	for _, name := range goldenWorkloads {
+		for _, v := range goldenVariants {
+			run := runGolden(t, name, goldenConfig(v.mode, v.backend))
+			if v.mode != machine.SecurityOff && run.AuthMsgs == 0 {
+				t.Errorf("%s/%s: secured run reports no authentication traffic", name, v.label)
+			}
+			if run.Loads == 0 || run.Stores == 0 {
+				t.Errorf("%s/%s: implausible retired-op counts: loads=%d stores=%d",
+					name, v.label, run.Loads, run.Stores)
+			}
+			got[goldenKey(name, v.label)] = run
+		}
+	}
+
+	if update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.MkdirAll(filepath.Dir(goldenCyclesFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenCyclesFile, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %d golden runs to %s", len(got), goldenCyclesFile)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenCyclesFile)
+	if err != nil {
+		t.Fatalf("missing golden table (generate with SENSS_UPDATE_GOLDEN=1): %v", err)
+	}
+	var want map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("corrupt %s: %v", goldenCyclesFile, err)
+	}
+
+	keys := make([]string, 0, len(got))
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		wantRaw, ok := want[k]
+		if !ok {
+			t.Errorf("%s: missing from golden table — regenerate it", k)
+			continue
+		}
+		gotJSON, err := json.Marshal(got[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, wantRaw); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, compact.Bytes()) {
+			t.Errorf("%s: stats table diverged from golden record\n got: %s\nwant: %s",
+				k, gotJSON, compact.Bytes())
+		}
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("%s: stale golden record with no matching run", k)
+		}
+	}
+	if len(keys) != len(goldenWorkloads)*len(goldenVariants) {
+		t.Errorf("conformance surface shrank: %d cells, want %d",
+			len(keys), len(goldenWorkloads)*len(goldenVariants))
+	}
+	// Spot-check the two backends agree cycle-for-cycle: the crypto
+	// backend changes host speed, never simulated timing.
+	for _, name := range goldenWorkloads {
+		for _, mode := range []string{"senss", "senss+mem"} {
+			ref := got[goldenKey(name, mode+"/ref")]
+			std := got[goldenKey(name, mode+"/stdlib")]
+			if ref.Cycles != std.Cycles {
+				t.Errorf("%s/%s: backend changed simulated timing: ref=%d stdlib=%d cycles",
+					name, mode, ref.Cycles, std.Cycles)
+			}
+		}
+	}
+}
+
+// TestGoldenConformanceOracleClean re-runs one secured cell per backend and
+// asserts the differential oracle saw traffic and stayed clean; RunWorkload
+// would have surfaced a divergence halt, this pins the plumbing.
+func TestGoldenConformanceOracleClean(t *testing.T) {
+	for _, backend := range []string{crypto.Ref, crypto.Stdlib} {
+		cfg := goldenConfig(machine.SecurityBus, backend)
+		s, err := driver.NewSession("falseshare", SizeTest, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(context.Background(), 0); err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if rep := s.OracleReport(); rep != nil {
+			t.Fatalf("%s: oracle diverged: %+v", backend, rep)
+		}
+		s.Close()
+	}
+}

@@ -176,8 +176,24 @@ type Victim struct {
 // displaced victim, if any. The returned line's Data is zeroed (caller
 // fills it). Inserting an address that is already present reuses its frame.
 //
-//senss-lint:hotpath
+// Insert allocates a fresh Victim per eviction; steady-state callers use
+// InsertVictim with a reusable record instead.
 func (c *Cache) Insert(addr uint64, state State) (*Line, *Victim) {
+	var v Victim
+	l, evicted := c.InsertVictim(addr, state, &v)
+	if !evicted {
+		return l, nil
+	}
+	return l, &v
+}
+
+// InsertVictim is Insert writing any displaced line into the caller-owned
+// victim record, whose Data buffer is reused across evictions — the
+// allocation-free form for the coherence hot path. It reports whether a
+// line was displaced; when it returns false, victim is untouched.
+//
+//senss-lint:hotpath
+func (c *Cache) InsertVictim(addr uint64, state State, victim *Victim) (*Line, bool) {
 	set, tag := c.index(addr)
 	frames := c.frames[set]
 
@@ -188,7 +204,7 @@ func (c *Cache) Insert(addr uint64, state State) (*Line, *Victim) {
 			l.State = state
 			c.tick++
 			l.lru = c.tick
-			return l, nil
+			return l, false
 		}
 	}
 	// Prefer an invalid frame.
@@ -199,7 +215,7 @@ func (c *Cache) Insert(addr uint64, state State) (*Line, *Victim) {
 			break
 		}
 	}
-	var victim *Victim
+	evicted := false
 	if slot == nil {
 		// Evict the LRU frame.
 		slot = &frames[0]
@@ -208,13 +224,19 @@ func (c *Cache) Insert(addr uint64, state State) (*Line, *Victim) {
 				slot = &frames[i]
 			}
 		}
-		//senss-lint:ignore hotpath eviction result crosses the API boundary; victim pooling is ROADMAP-3 work
-		victim = &Victim{Addr: c.AddrOf(set, slot), State: slot.State}
+		victim.Addr = c.AddrOf(set, slot)
+		victim.State = slot.State
 		if c.withData {
-			//senss-lint:ignore hotpath victim payload copy crosses the API boundary; pooling is ROADMAP-3 work
-			victim.Data = append([]byte(nil), slot.Data...)
+			if len(victim.Data) != c.lineSize {
+				//senss-lint:ignore hotpath first-touch growth: the victim record's payload buffer reaches line size once and is reused
+				victim.Data = make([]byte, c.lineSize)
+			}
+			copy(victim.Data, slot.Data)
+		} else {
+			victim.Data = nil
 		}
 		c.Evictions++
+		evicted = true
 	}
 	slot.Tag = tag
 	slot.State = state
@@ -230,7 +252,7 @@ func (c *Cache) Insert(addr uint64, state State) (*Line, *Victim) {
 	}
 	c.tick++
 	slot.lru = c.tick
-	return slot, victim
+	return slot, evicted
 }
 
 // Drop invalidates addr's line if present and returns its prior state,

@@ -86,14 +86,117 @@ type Node struct {
 	// protection-layer hook accesses.
 	fillDepth int
 
-	// fillBufs holds one reusable line payload per fill depth, so the
-	// steady state rides the bus without a make([]byte) per miss (hotpath
-	// discipline, DESIGN.md §13). Indexing by depth keeps a recursive
-	// protection-layer fill (hook accesses inside postFill) from
-	// clobbering the outer fill's in-flight payload; one extra slot
-	// covers the hook running at fillDepth == maxFillDepth before the
-	// recursion guard fires.
-	fillBufs [maxFillDepth + 1][]byte
+	// fillStates holds one reusable miss-transaction record per fill
+	// depth — header, payload buffer, victim record, writeback header, and
+	// pre-bound bus callbacks — so the steady state rides the bus with no
+	// per-miss allocation at all (hotpath discipline, DESIGN.md §13).
+	// Indexing by depth keeps a recursive protection-layer fill (hook
+	// accesses inside postFill) from clobbering the outer fill's in-flight
+	// state; one extra slot covers the hook running at fillDepth ==
+	// maxFillDepth before the recursion guard fires.
+	fillStates [maxFillDepth + 1]*fillState
+
+	// l1Victim receives tag-only L1 eviction records, which the node
+	// discards (inclusion handles their state via the L2).
+	l1Victim cache.Victim
+
+	// sigTxn is the reusable header for address-only protection-layer
+	// transactions (Signal). Safe as a single record per node: Signal
+	// never nests within itself — nothing snooping or servicing a pad
+	// message issues another one on the same node.
+	sigTxn bus.Transaction
+}
+
+// fillOp selects the commit action a fillState performs at the coherence
+// point — the data-driven replacement for per-miss commit closures, which
+// Go would heap-allocate on every miss.
+type fillOp uint8
+
+const (
+	opLoad      fillOp = iota // bind the word, install the L1D subline
+	opIFetch                  // install the L1I subline
+	opStore                   // store val into the owned line
+	opRMW                     // bind the old word, store mut(old)
+	opCopyOut                 // copy the whole line into buf (LoadLine)
+	opCopyIn                  // copy buf into the line at off (StoreBlock)
+)
+
+// fillState is the pooled per-depth state of one miss or upgrade: the bus
+// transaction header with its callbacks bound once, the reusable line
+// payload, the victim record, and the operation to commit at the
+// coherence point.
+type fillState struct {
+	n    *Node
+	t    bus.Transaction
+	wb   bus.Transaction // Committed writeback header for the victim
+	data []byte          // reusable fill payload
+
+	victim    cache.Victim
+	hasVictim bool // victim holds a dirty line needing a timing WB
+
+	// The pending commit action and its operands.
+	op   fillOp
+	addr uint64              // word (or block) address of the operation
+	val  uint64              // opStore operand
+	mut  func(uint64) uint64 // opRMW mutator (caller-supplied)
+	buf  []byte              // opCopyOut dst / opCopyIn src
+	off  uint64              // opCopyIn line offset
+	res  uint64              // opLoad / opRMW result
+}
+
+// preSnoop revalidates an Upgr after arbitration: a queued RdX may have
+// stolen the Shared copy, degrading the upgrade to a full RdX fill.
+//
+//senss-lint:hotpath
+func (fs *fillState) preSnoop(t *bus.Transaction) {
+	if t.Kind != bus.Upgr {
+		return
+	}
+	if fs.n.L2.Peek(fs.addr) == nil {
+		fs.n.Stats.UpgrRaces++
+		t.Kind = bus.RdX
+		t.Data = fs.data
+	}
+}
+
+// onData commits the cache-state change at the coherence point.
+//
+//senss-lint:hotpath
+func (fs *fillState) onData(t *bus.Transaction) {
+	if t.Kind == bus.Upgr {
+		cur := fs.n.L2.Peek(fs.addr)
+		if cur == nil {
+			panic("coherence: line vanished between grant and commit")
+		}
+		cur.State = cache.Modified
+		fs.commit(cur)
+		return
+	}
+	fs.n.commitFill(fs)
+}
+
+// commit performs the pending operation against the line now owned at the
+// coherence point.
+//
+//senss-lint:hotpath
+func (fs *fillState) commit(l2 *cache.Line) {
+	n := fs.n
+	switch fs.op {
+	case opLoad:
+		fs.res = n.wordOf(l2, fs.addr)
+		n.L1D.InsertVictim(fs.addr, cache.Shared, &n.l1Victim)
+	case opIFetch:
+		n.L1I.InsertVictim(fs.addr, cache.Shared, &n.l1Victim)
+	case opStore:
+		n.setWord(l2, fs.addr, fs.val)
+	case opRMW:
+		fs.res = n.wordOf(l2, fs.addr)
+		n.setWord(l2, fs.addr, fs.mut(fs.res))
+	case opCopyOut:
+		copy(fs.buf, l2.Data)
+	case opCopyIn:
+		copy(l2.Data[fs.off:], fs.buf)
+	}
 }
 
 // NewNode builds a node and attaches it to b as a snooper.
@@ -120,18 +223,34 @@ func (n *Node) setWord(l *cache.Line, addr uint64, v uint64) {
 	mem.WriteWordToLine(l.Data, addr%uint64(n.Params.L2Line), v)
 }
 
-// fillData returns the reusable line payload for a fill transaction at
-// the current depth, allocating it on first touch.
+// fillState returns the reusable miss state for the current fill depth,
+// building it (payload buffer, bound callbacks) on first touch.
 //
 //senss-lint:hotpath
-func (n *Node) fillData() []byte {
-	buf := n.fillBufs[n.fillDepth]
-	if buf == nil {
-		//senss-lint:ignore hotpath first-touch growth: one payload per fill depth, reused for the whole run
-		buf = make([]byte, n.Params.L2Line)
-		n.fillBufs[n.fillDepth] = buf
+func (n *Node) fillState() *fillState {
+	fs := n.fillStates[n.fillDepth]
+	if fs == nil {
+		//senss-lint:ignore hotpath first-touch growth: one fill state per depth, reused for the whole run
+		fs = &fillState{n: n}
+		//senss-lint:ignore hotpath first-touch growth: one payload per depth, reused for the whole run
+		fs.data = make([]byte, n.Params.L2Line)
+		// Method values bound once here; the steady state reuses them.
+		//senss-lint:ignore hotpath first-touch growth: callbacks bound once per depth, reused for the whole run
+		fs.t.PreSnoop = fs.preSnoop
+		//senss-lint:ignore hotpath first-touch growth: callbacks bound once per depth, reused for the whole run
+		fs.t.OnData = fs.onData
+		n.fillStates[n.fillDepth] = fs
 	}
-	return buf
+	return fs
+}
+
+// Signal issues an address-only protection-layer transaction (PadReq,
+// PadInv, PadUpd) on the node's behalf, reusing one transaction record.
+//
+//senss-lint:hotpath
+func (n *Node) Signal(p *sim.Proc, kind bus.Kind, addr uint64) {
+	n.sigTxn = bus.Transaction{Kind: kind, Addr: addr, Src: n.ID, GID: n.GID}
+	n.Bus.Transact(p, &n.sigTxn)
 }
 
 // invalidateL1 drops every L1 subline of the L2 line at la (inclusion).
@@ -161,18 +280,15 @@ func (n *Node) Load(p *sim.Proc, addr uint64) uint64 {
 	}
 	if l2 := n.L2.Lookup(addr); l2 != nil {
 		v := n.wordOf(l2, addr)
-		n.L1D.Insert(addr, cache.Shared)
+		n.L1D.InsertVictim(addr, cache.Shared, &n.l1Victim)
 		p.Sleep(n.Params.L1HitLat + n.Params.L2HitLat)
 		return v
 	}
-	var v uint64
-	//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
-	n.fill(p, addr, bus.Rd, func(l2 *cache.Line) {
-		v = n.wordOf(l2, addr)
-		n.L1D.Insert(addr, cache.Shared)
-	})
+	fs := n.fillState()
+	fs.op, fs.addr = opLoad, addr
+	n.fill(p, addr, bus.Rd, fs)
 	p.Sleep(n.Params.L1HitLat + n.Params.L2HitLat) // probes preceding the miss
-	return v
+	return fs.res
 }
 
 // IFetch models an instruction fetch at addr. L1I hits are free (overlapped
@@ -185,24 +301,17 @@ func (n *Node) IFetch(p *sim.Proc, addr uint64) {
 		return
 	}
 	if l2 := n.L2.Lookup(addr); l2 != nil {
-		n.L1I.Insert(addr, cache.Shared)
+		n.L1I.InsertVictim(addr, cache.Shared, &n.l1Victim)
 		p.Sleep(n.Params.L2HitLat)
 		return
 	}
-	//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
-	n.fill(p, addr, bus.Rd, func(l2 *cache.Line) {
-		n.L1I.Insert(addr, cache.Shared)
-	})
+	fs := n.fillState()
+	fs.op, fs.addr = opIFetch, addr
+	n.fill(p, addr, bus.Rd, fs)
 	p.Sleep(n.Params.L2HitLat)
 }
 
 // Store performs a data store of the aligned word at addr.
-//
-// The owned fast path commits inline: building the commit closure only
-// on the slow path keeps the steady-state store allocation-free (a
-// closure passed to fill/upgrade escapes into the transaction, so Go
-// heap-allocates it at creation — even when the fast path would never
-// call it).
 //
 //senss-lint:hotpath
 func (n *Node) Store(p *sim.Proc, addr uint64, val uint64) {
@@ -211,10 +320,9 @@ func (n *Node) Store(p *sim.Proc, addr uint64, val uint64) {
 	if owned {
 		n.setWord(l2, addr, val)
 	} else {
-		//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
-		n.acquireModified(p, addr, l2, func(l2 *cache.Line) {
-			n.setWord(l2, addr, val)
-		})
+		fs := n.fillState()
+		fs.op, fs.addr, fs.val = opStore, addr, val
+		n.acquireModified(p, addr, l2, fs)
 	}
 	p.Sleep(n.Params.StoreLat)
 }
@@ -228,22 +336,17 @@ func (n *Node) RMW(p *sim.Proc, addr uint64, f func(uint64) uint64) uint64 {
 	n.Stats.RMWs++
 	l2, owned := n.storeLookup(addr)
 	if owned {
-		// The fast path binds its own old value: a variable captured by
-		// the slow path's escaping closure would be heap-allocated at
-		// declaration, on every call.
 		old := n.wordOf(l2, addr)
 		n.setWord(l2, addr, f(old))
 		p.Sleep(n.Params.StoreLat + n.Params.RMWLat)
 		return old
 	}
-	var old uint64
-	//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
-	n.acquireModified(p, addr, l2, func(l2 *cache.Line) {
-		old = n.wordOf(l2, addr)
-		n.setWord(l2, addr, f(old))
-	})
+	fs := n.fillState()
+	fs.op, fs.addr, fs.mut = opRMW, addr, f
+	n.acquireModified(p, addr, l2, fs)
+	fs.mut = nil // drop the caller's closure for the GC
 	p.Sleep(n.Params.StoreLat + n.Params.RMWLat)
-	return old
+	return fs.res
 }
 
 // storeLookup probes the L2 for write ownership, promoting E to M in
@@ -272,81 +375,61 @@ func (n *Node) storeLookup(addr uint64) (*cache.Line, bool) {
 
 // acquireModified obtains addr's line in Modified state the slow way —
 // a full RdX fill on a miss, a BusUpgr for the Shared/Owned copy l2 —
-// and runs commit at the coherence point.
+// and commits fs's pending operation at the coherence point.
 //
 //senss-lint:hotpath
-func (n *Node) acquireModified(p *sim.Proc, addr uint64, l2 *cache.Line, commit func(l2 *cache.Line)) {
+func (n *Node) acquireModified(p *sim.Proc, addr uint64, l2 *cache.Line, fs *fillState) {
 	if l2 == nil {
-		n.fill(p, addr, bus.RdX, commit)
+		n.fill(p, addr, bus.RdX, fs)
 		p.Sleep(n.Params.L1HitLat + n.Params.L2HitLat)
 		return
 	}
-	n.upgrade(p, addr, commit)
+	n.upgrade(p, addr, fs)
 }
 
 // upgrade converts a Shared/Owned copy to Modified with a BusUpgr,
-// degrading to a full RdX if the copy is lost while waiting for the bus.
+// degrading to a full RdX (fs.preSnoop) if the copy is lost while waiting
+// for the bus.
 //
 //senss-lint:hotpath
-func (n *Node) upgrade(p *sim.Proc, addr uint64, commit func(l2 *cache.Line)) {
-	la := n.L2.LineAddr(addr)
-	//senss-lint:ignore hotpath upgrades leave the steady state by definition; transaction pooling is ROADMAP-3 work
-	t := &bus.Transaction{Kind: bus.Upgr, Addr: la, Src: n.ID, GID: n.GID}
-	var victim *cache.Victim
-	//senss-lint:ignore hotpath bus-callback closure; transaction pooling is ROADMAP-3 work
-	t.PreSnoop = func(t *bus.Transaction) {
-		if n.L2.Peek(addr) == nil {
-			// A queued RdX stole the line while we waited: fetch it.
-			n.Stats.UpgrRaces++
-			t.Kind = bus.RdX
-			t.Data = n.fillData()
-		}
-	}
-	//senss-lint:ignore hotpath bus-callback closure; transaction pooling is ROADMAP-3 work
-	t.OnData = func(t *bus.Transaction) {
-		if t.Kind == bus.Upgr {
-			cur := n.L2.Peek(addr)
-			if cur == nil {
-				panic("coherence: line vanished between grant and commit")
-			}
-			cur.State = cache.Modified
-			commit(cur)
-			return
-		}
-		victim = n.commitFill(t, commit)
-	}
-	n.Bus.Transact(p, t)
-	n.postFill(p, t, victim)
+func (n *Node) upgrade(p *sim.Proc, addr uint64, fs *fillState) {
+	fs.t.Kind = bus.Upgr
+	fs.t.Addr = n.L2.LineAddr(addr)
+	fs.t.Src, fs.t.GID = n.ID, n.GID
+	fs.t.Data = nil
+	fs.t.Committed = false
+	fs.hasVictim = false
+	n.Bus.Transact(p, &fs.t)
+	n.postFill(p, fs)
 }
 
 // fill acquires the line containing addr with a Rd or RdX, committing the
-// insertion and the caller's action atomically at the bus grant. The
-// payload rides in the node's per-depth reusable buffer; commitFill
-// copies it into the L2 frame before the transaction returns.
+// insertion and fs's pending operation atomically at the bus grant. The
+// payload rides in the state's reusable buffer; commitFill copies it into
+// the L2 frame before the transaction returns.
 //
 //senss-lint:hotpath
-func (n *Node) fill(p *sim.Proc, addr uint64, kind bus.Kind, commit func(l2 *cache.Line)) {
-	la := n.L2.LineAddr(addr)
-	//senss-lint:ignore hotpath per-miss transaction header; pooling is ROADMAP-3 work
-	t := &bus.Transaction{Kind: kind, Addr: la, Src: n.ID, GID: n.GID, Data: n.fillData()}
-	var victim *cache.Victim
-	//senss-lint:ignore hotpath bus-callback closure; transaction pooling is ROADMAP-3 work
-	t.OnData = func(t *bus.Transaction) {
-		victim = n.commitFill(t, commit)
-	}
-	n.Bus.Transact(p, t)
-	n.postFill(p, t, victim)
+func (n *Node) fill(p *sim.Proc, addr uint64, kind bus.Kind, fs *fillState) {
+	fs.t.Kind = kind
+	fs.t.Addr = n.L2.LineAddr(addr)
+	fs.t.Src, fs.t.GID = n.ID, n.GID
+	fs.t.Data = fs.data
+	fs.t.Committed = false
+	fs.hasVictim = false
+	n.Bus.Transact(p, &fs.t)
+	n.postFill(p, fs)
 }
 
 // maxFillDepth bounds eviction recursion through protection-layer hooks.
 const maxFillDepth = 24
 
-// commitFill inserts the fetched line (state per MOESI), commits the
-// caller's action, and commits any dirty victim's bytes to memory. It runs
-// at the coherence point (bus held).
+// commitFill inserts the fetched line (state per MOESI), commits fs's
+// pending operation, and commits any dirty victim's bytes to memory. It
+// runs at the coherence point (bus held).
 //
 //senss-lint:hotpath
-func (n *Node) commitFill(t *bus.Transaction, commit func(l2 *cache.Line)) *cache.Victim {
+func (n *Node) commitFill(fs *fillState) {
+	t := &fs.t
 	state := cache.Modified
 	if t.Kind == bus.Rd {
 		if t.Shared {
@@ -355,25 +438,23 @@ func (n *Node) commitFill(t *bus.Transaction, commit func(l2 *cache.Line)) *cach
 			state = cache.Exclusive
 		}
 	}
-	l2, victim := n.L2.Insert(t.Addr, state)
+	l2, evicted := n.L2.InsertVictim(t.Addr, state, &fs.victim)
 	copy(l2.Data, t.Data)
-	if victim != nil {
-		n.invalidateL1(victim.Addr)
-		if victim.State.Dirty() {
-			n.Bus.CommitStore(n.ID, n.GID, victim.Addr, victim.Data)
-		} else {
-			victim = nil
+	if evicted {
+		n.invalidateL1(fs.victim.Addr)
+		if fs.victim.State.Dirty() {
+			n.Bus.CommitStore(n.ID, n.GID, fs.victim.Addr, fs.victim.Data)
+			fs.hasVictim = true
 		}
 	}
-	commit(l2)
-	return victim
+	fs.commit(l2)
 }
 
 // postFill runs the protection hooks and the victim's timing writeback
 // after the fill transaction completed (bus released).
 //
 //senss-lint:hotpath
-func (n *Node) postFill(p *sim.Proc, t *bus.Transaction, victim *cache.Victim) {
+func (n *Node) postFill(p *sim.Proc, fs *fillState) {
 	if n.fillDepth >= maxFillDepth {
 		panic("coherence: fill recursion too deep (protection-layer loop?)")
 	}
@@ -382,20 +463,20 @@ func (n *Node) postFill(p *sim.Proc, t *bus.Transaction, victim *cache.Victim) {
 	// the miss path.
 	n.fillDepth++
 
+	t := &fs.t
 	if t.SupplierID == bus.MemorySupplier && (t.Kind == bus.Rd || t.Kind == bus.RdX) && n.Hooks != nil {
 		//senss-lint:ignore hotpath hook fan-out reaches config-dependent protection rigs; the production layers are hot-annotated where it counts
 		n.Hooks.AfterMemoryFill(p, n, t)
 	}
-	if victim != nil {
-		//senss-lint:ignore hotpath per-eviction writeback header; pooling is ROADMAP-3 work
-		wb := &bus.Transaction{
-			Kind: bus.WB, Addr: victim.Addr, Src: n.ID, GID: n.GID,
-			Data: victim.Data, Committed: true,
+	if fs.hasVictim {
+		fs.wb = bus.Transaction{
+			Kind: bus.WB, Addr: fs.victim.Addr, Src: n.ID, GID: n.GID,
+			Data: fs.victim.Data, Committed: true,
 		}
-		n.Bus.Transact(p, wb)
+		n.Bus.Transact(p, &fs.wb)
 		if n.Hooks != nil {
 			//senss-lint:ignore hotpath hook fan-out reaches config-dependent protection rigs; the production layers are hot-annotated where it counts
-			n.Hooks.AfterWriteBack(p, n, victim.Addr, victim.Data)
+			n.Hooks.AfterWriteBack(p, n, fs.victim.Addr, fs.victim.Data)
 		}
 	}
 	n.fillDepth--
@@ -487,10 +568,10 @@ func (n *Node) LoadLine(p *sim.Proc, addr uint64) []byte {
 		p.Sleep(n.Params.L2HitLat)
 		return out
 	}
-	//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
-	n.fill(p, la, bus.Rd, func(l2 *cache.Line) {
-		copy(out, l2.Data)
-	})
+	fs := n.fillState()
+	fs.op, fs.addr, fs.buf = opCopyOut, la, out
+	n.fill(p, la, bus.Rd, fs)
+	fs.buf = nil // drop the caller's buffer for the GC
 	p.Sleep(n.Params.L2HitLat)
 	return out
 }
@@ -510,10 +591,10 @@ func (n *Node) StoreBlock(p *sim.Proc, addr uint64, data []byte) {
 	if owned {
 		copy(l2.Data[off:], data)
 	} else {
-		//senss-lint:ignore hotpath miss-path commit closure; transaction pooling is ROADMAP-3 work
-		n.acquireModified(p, addr, l2, func(l2 *cache.Line) {
-			copy(l2.Data[off:], data)
-		})
+		fs := n.fillState()
+		fs.op, fs.addr, fs.off, fs.buf = opCopyIn, addr, off, data
+		n.acquireModified(p, addr, l2, fs)
+		fs.buf = nil // drop the caller's buffer for the GC
 	}
 	p.Sleep(n.Params.StoreLat)
 }

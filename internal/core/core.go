@@ -37,6 +37,8 @@ const BlocksPerLine = 4
 
 // pidBlock folds an originator PID and a block index into an AES block —
 // the "PID input" of Figure 2 that defeats Type 3 (spoofing) attacks.
+//
+//senss-lint:hotpath
 func pidBlock(pid int, j int) aes.Block {
 	return aes.BlockFromUint64(uint64(pid), uint64(j))
 }
@@ -190,7 +192,10 @@ type SHU struct {
 	// member bitmask, all-zero for groups this processor is not in.
 	matrix [MaxGroups]uint32
 
-	sessions map[int]*session
+	// sessions is the group information table, indexed directly by GID —
+	// a flat array like the hardware's, so the per-transfer lookups on the
+	// bus datapath are one bounds check and one load instead of map probes.
+	sessions [MaxGroups]*session
 }
 
 // NewSHU creates the SHU for processor pid.
@@ -198,7 +203,17 @@ func NewSHU(pid int, params Params) *SHU {
 	if pid < 0 || pid >= MaxProcs {
 		panic(fmt.Sprintf("core: PID %d out of range", pid))
 	}
-	return &SHU{PID: pid, params: params.sanitize(), sessions: make(map[int]*session)}
+	return &SHU{PID: pid, params: params.sanitize()}
+}
+
+// session returns gid's table entry, nil when out of range or unoccupied.
+//
+//senss-lint:hotpath
+func (s *SHU) session(gid int) *session {
+	if gid < 0 || gid >= MaxGroups {
+		return nil
+	}
+	return s.sessions[gid]
 }
 
 // Join installs a group session: the symmetric key, the member set, and
@@ -284,11 +299,13 @@ func (ss *session) zeroize() {
 // Leave clears a group session (program exit; GID reclaimed by the table),
 // zeroizing the session key schedule, mask banks, and chain state first.
 func (s *SHU) Leave(gid int) {
-	if ss := s.sessions[gid]; ss != nil {
-		ss.zeroize()
+	ss := s.session(gid)
+	if ss == nil {
+		return
 	}
+	ss.zeroize()
 	s.matrix[gid] = 0
-	delete(s.sessions, gid)
+	s.sessions[gid] = nil
 }
 
 // InjectMaskReuse freezes gid's mask-bank refresh on this SHU — the
@@ -298,7 +315,7 @@ func (s *SHU) Leave(gid int) {
 // the MAC chains keep agreeing); the bug is visible only to an
 // independent reference pad schedule. Test-only.
 func (s *SHU) InjectMaskReuse(gid int) {
-	if ss := s.sessions[gid]; ss != nil {
+	if ss := s.session(gid); ss != nil {
 		ss.reusePads = true
 	}
 }
@@ -314,13 +331,13 @@ func (s *SHU) Members(gid int) uint32 { return s.matrix[gid] }
 
 // Alarmed reports whether this SHU raised a self-snoop alarm on gid.
 func (s *SHU) Alarmed(gid int) bool {
-	ss := s.sessions[gid]
+	ss := s.session(gid)
 	return ss != nil && ss.alarmed
 }
 
 // Seq returns this member's message count for gid.
 func (s *SHU) Seq(gid int) uint64 {
-	ss := s.sessions[gid]
+	ss := s.session(gid)
 	if ss == nil {
 		return 0
 	}
@@ -331,17 +348,29 @@ func (s *SHU) Seq(gid int) uint64 {
 // about to supply on the bus, and advances the local chains (the sender is
 // also an observer of its own message). plain must be BlocksPerLine blocks.
 func (s *SHU) Encrypt(gid int, plain []aes.Block) ([]aes.Block, error) {
-	ss := s.sessions[gid]
+	cipher := make([]aes.Block, len(plain))
+	if err := s.EncryptInto(gid, plain, cipher); err != nil {
+		return nil, err
+	}
+	return cipher, nil
+}
+
+// EncryptInto is Encrypt writing the ciphertext into a caller-owned buffer
+// (len(cipher) == len(plain)) — the bus datapath's allocation-free form.
+//
+//senss-lint:hotpath
+func (s *SHU) EncryptInto(gid int, plain, cipher []aes.Block) error {
+	ss := s.session(gid)
 	if ss == nil {
-		return nil, fmt.Errorf("core: processor %d has no session for GID %d", s.PID, gid)
+		//senss-lint:ignore hotpath failure path: misconfigured group, run is about to halt
+		return fmt.Errorf("core: processor %d has no session for GID %d", s.PID, gid)
 	}
 	bank := ss.banks[ss.seq%uint64(len(ss.banks))]
-	cipher := make([]aes.Block, len(plain))
 	for j := range plain {
 		cipher[j] = plain[j].XOR(bank[j]) // the 1-cycle OTP step
 	}
 	s.advance(ss, cipher, s.PID)
-	return cipher, nil
+	return nil
 }
 
 // Observe processes a snooped group message: decrypt with the local mask
@@ -349,21 +378,35 @@ func (s *SHU) Encrypt(gid int, plain []aes.Block) ([]aes.Block, error) {
 // ciphertext. It returns the recovered plaintext. A message claiming this
 // processor's own PID trips the self-snoop alarm (Type 3 defense).
 func (s *SHU) Observe(gid int, cipher []aes.Block, senderPID int) ([]aes.Block, error) {
-	ss := s.sessions[gid]
+	plain := make([]aes.Block, len(cipher))
+	if err := s.ObserveInto(gid, cipher, senderPID, plain); err != nil {
+		return nil, err
+	}
+	return plain, nil
+}
+
+// ObserveInto is Observe writing the recovered plaintext into a caller-owned
+// buffer (len(plain) == len(cipher)) — the bus datapath's allocation-free
+// form.
+//
+//senss-lint:hotpath
+func (s *SHU) ObserveInto(gid int, cipher []aes.Block, senderPID int, plain []aes.Block) error {
+	ss := s.session(gid)
 	if ss == nil {
-		return nil, fmt.Errorf("core: processor %d has no session for GID %d", s.PID, gid)
+		//senss-lint:ignore hotpath failure path: misconfigured group, run is about to halt
+		return fmt.Errorf("core: processor %d has no session for GID %d", s.PID, gid)
 	}
 	if senderPID == s.PID {
 		ss.alarmed = true
-		return nil, fmt.Errorf("core: processor %d snooped a message claiming its own PID (spoofing)", s.PID)
+		//senss-lint:ignore hotpath failure path: spoofing alarm, run is about to halt
+		return fmt.Errorf("core: processor %d snooped a message claiming its own PID (spoofing)", s.PID)
 	}
 	bank := ss.banks[ss.seq%uint64(len(ss.banks))]
-	plain := make([]aes.Block, len(cipher))
 	for j := range cipher {
 		plain[j] = cipher[j].XOR(bank[j])
 	}
 	s.advance(ss, cipher, senderPID)
-	return plain, nil
+	return nil
 }
 
 // advance refreshes the active mask bank and extends the authentication
@@ -373,6 +416,8 @@ func (s *SHU) Observe(gid int, cipher []aes.Block, senderPID int) ([]aes.Block, 
 // AES over the ciphertext and originator, and the MAC is the Eq. (1)
 // CBC chain. In AuthGF mode masks come from a counter (independent of the
 // traffic, hence precomputable) and the chain is a GHASH accumulator.
+//
+//senss-lint:hotpath
 func (s *SHU) advance(ss *session, cipher []aes.Block, senderPID int) {
 	bank := ss.banks[ss.seq%uint64(len(ss.banks))]
 	for j := range cipher {
@@ -407,7 +452,7 @@ func (s *SHU) MACTag(gid int) ([]byte, error) {
 
 // MACSum returns the full-width chain value (tests, diagnostics).
 func (s *SHU) MACSum(gid int) (aes.Block, error) {
-	ss := s.sessions[gid]
+	ss := s.session(gid)
 	if ss == nil {
 		return aes.Block{}, fmt.Errorf("core: no session for GID %d", gid)
 	}
@@ -419,14 +464,22 @@ func (s *SHU) MACSum(gid int) (aes.Block, error) {
 
 // LineToBlocks splits a 64-byte line into BlocksPerLine AES blocks.
 func LineToBlocks(line []byte) []aes.Block {
-	if len(line) != BlocksPerLine*aes.BlockSize {
-		panic(fmt.Sprintf("core: line of %d bytes", len(line)))
-	}
 	out := make([]aes.Block, BlocksPerLine)
+	LineToBlocksInto(line, out)
+	return out
+}
+
+// LineToBlocksInto splits a 64-byte line into a caller-owned block buffer —
+// the bus datapath's allocation-free form.
+//
+//senss-lint:hotpath
+func LineToBlocksInto(line []byte, out []aes.Block) {
+	if len(line) != BlocksPerLine*aes.BlockSize || len(out) != BlocksPerLine {
+		panic(fmt.Sprintf("core: line of %d bytes into %d blocks", len(line), len(out)))
+	}
 	for j := range out {
 		copy(out[j][:], line[j*aes.BlockSize:])
 	}
-	return out
 }
 
 // BlocksToLine reassembles AES blocks into a 64-byte line buffer.

@@ -34,7 +34,7 @@ type SavedContext struct {
 // from the SHU. The returned context is what the OS writes to (untrusted)
 // memory.
 func (s *SHU) Suspend(gid int, ivSeed uint64) (*SavedContext, error) {
-	ss := s.sessions[gid]
+	ss := s.session(gid)
 	if ss == nil {
 		return nil, fmt.Errorf("core: processor %d has no session for GID %d to suspend", s.PID, gid)
 	}
@@ -53,7 +53,7 @@ func (s *SHU) Suspend(gid int, ivSeed uint64) (*SavedContext, error) {
 		plain[i] = 0
 	}
 	ss.zeroize()
-	delete(s.sessions, gid)
+	s.sessions[gid] = nil
 	return saved, nil
 }
 
@@ -78,6 +78,9 @@ func (s *SHU) Resume(saved *SavedContext, key aes.Block) error {
 	ss, err := s.deserializeSession(plain, cipher)
 	if err != nil {
 		return err
+	}
+	if saved.GID < 0 || saved.GID >= MaxGroups {
+		return fmt.Errorf("core: context GID %d outside group space", saved.GID)
 	}
 	ss.gid = saved.GID
 	s.sessions[saved.GID] = ss

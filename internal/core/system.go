@@ -79,10 +79,19 @@ type System struct {
 	engine  *sim.Engine
 	bus     *bus.Bus
 	shus    []*SHU
-	timing  map[int]*groupTiming
+	timing  []*groupTiming // indexed by GID; nil = no group established
 	tamper  Tamperer
 	observe Observer
 	halting bool // halt the engine on detection (true in the machine)
+
+	// Broadcast scratch: one transfer's plaintext, on-the-wire ciphertext,
+	// and per-receiver decryption, reused across transactions so the snoop
+	// fan-out allocates nothing. Safe because OnTransaction runs to
+	// completion under the bus lock before the next transfer, and the
+	// observer contract forbids retaining the slices.
+	plainBuf  [BlocksPerLine]aes.Block
+	cipherBuf [BlocksPerLine]aes.Block
+	gotBuf    [BlocksPerLine]aes.Block
 
 	Stats SystemStats
 }
@@ -95,7 +104,7 @@ func NewSystem(engine *sim.Engine, b *bus.Bus, nprocs int, params Params, haltin
 		params:  params.sanitize(),
 		engine:  engine,
 		bus:     b,
-		timing:  make(map[int]*groupTiming),
+		timing:  make([]*groupTiming, MaxGroups),
 		halting: halting,
 	}
 	for pid := 0; pid < nprocs; pid++ {
@@ -134,6 +143,9 @@ func (s *System) InjectMaskReuse(gid int) {
 // the group's mask-availability schedule. It is the low-level counterpart
 // of the Dispatcher (which performs the full RSA key-wrap handshake).
 func (s *System) Establish(gid int, key aes.Block, members uint32, encIV, authIV aes.Block) error {
+	if gid < 0 || gid >= MaxGroups {
+		return fmt.Errorf("core: GID %d outside group space [0,%d)", gid, MaxGroups)
+	}
 	for _, pid := range MemberList(members) {
 		if pid >= len(s.shus) {
 			return fmt.Errorf("core: member %d beyond system size %d", pid, len(s.shus))
@@ -152,10 +164,21 @@ func (s *System) Establish(gid int, key aes.Block, members uint32, encIV, authIV
 	return nil
 }
 
+// timingFor returns gid's mask-availability schedule, or nil when no such
+// group has been established (or gid is outside the group space).
+//
+//senss-lint:hotpath
+func (s *System) timingFor(gid int) *groupTiming {
+	if gid < 0 || gid >= len(s.timing) {
+		return nil
+	}
+	return s.timing[gid]
+}
+
 // CurrentInterval reports the authentication interval in force for gid
 // (equals Params.AuthInterval unless adaptation moved it).
 func (s *System) CurrentInterval(gid int) int {
-	if gt := s.timing[gid]; gt != nil {
+	if gt := s.timingFor(gid); gt != nil {
 		return gt.interval
 	}
 	return s.params.AuthInterval
@@ -180,7 +203,7 @@ func (s *System) OnTransaction(p *sim.Proc, t *bus.Transaction) uint64 {
 	if !t.CacheToCache() {
 		return extra
 	}
-	gt := s.timing[t.GID]
+	gt := s.timingFor(t.GID)
 	if gt == nil {
 		return extra // untagged traffic (no group established)
 	}
@@ -199,9 +222,14 @@ func (s *System) OnTransaction(p *sim.Proc, t *bus.Transaction) uint64 {
 		}
 	}
 
-	plain := LineToBlocks(t.Data)
-	cipher, err := s.shus[sender].Encrypt(t.GID, plain)
-	if err != nil {
+	// One broadcast touches one reusable set of buffers: the line splits
+	// into plainBuf, encrypts into cipherBuf, and every snooping member
+	// decrypts the shared ciphertext into gotBuf in turn — no per-CPU
+	// message construction.
+	plain := s.plainBuf[:]
+	LineToBlocksInto(t.Data, plain)
+	cipher := s.cipherBuf[:]
+	if err := s.shus[sender].EncryptInto(t.GID, plain, cipher); err != nil {
 		s.detect(err.Error())
 		return extra
 	}
@@ -219,30 +247,44 @@ func (s *System) OnTransaction(p *sim.Proc, t *bus.Transaction) uint64 {
 	// Broadcast through the interposer to every member except the sender.
 	var tampered map[int][]Observed
 	if s.tamper != nil {
-		tampered = s.tamper.Tamper(s.shus[sender].Seq(t.GID)-1, sender, cipher)
+		// Interposers may buffer the wire image for later replay, so hand
+		// them a private copy rather than the reused scratch (cold path:
+		// attack runs only).
+		wire := make([]aes.Block, len(cipher))
+		copy(wire, cipher)
+		tampered = s.tamper.Tamper(s.shus[sender].Seq(t.GID)-1, sender, wire)
 	}
 	members := s.shus[sender].Members(t.GID)
-	for _, pid := range MemberList(members) {
-		if pid == sender || pid >= len(s.shus) {
+	for pid := 0; pid < len(s.shus); pid++ {
+		if pid == sender || members&(1<<uint(pid)) == 0 {
 			continue
 		}
-		observed := []Observed{{Cipher: cipher, Sender: sender}}
 		if tampered != nil {
 			if alt, ok := tampered[pid]; ok {
-				observed = alt
-			}
-		}
-		for _, o := range observed {
-			got, err := s.shus[pid].Observe(t.GID, o.Cipher, o.Sender)
-			if err != nil {
-				s.detect(err.Error())
+				// Attacked receiver: observe the interposer's substitute
+				// message stream instead of the original.
+				for _, o := range alt {
+					got := s.gotBuf[:]
+					if err := s.shus[pid].ObserveInto(t.GID, o.Cipher, o.Sender, got); err != nil {
+						s.detect(err.Error())
+						continue
+					}
+					if pid == t.Src {
+						BlocksToLine(got, t.Data)
+					}
+				}
 				continue
 			}
-			if pid == t.Src {
-				// The requester consumes its decrypted view — under attack
-				// this is garbage, exactly as on a real tampered bus.
-				BlocksToLine(got, t.Data)
-			}
+		}
+		got := s.gotBuf[:]
+		if err := s.shus[pid].ObserveInto(t.GID, cipher, sender, got); err != nil {
+			s.detect(err.Error())
+			continue
+		}
+		if pid == t.Src {
+			// The requester consumes its decrypted view — under attack
+			// this is garbage, exactly as on a real tampered bus.
+			BlocksToLine(got, t.Data)
 		}
 	}
 
@@ -350,7 +392,7 @@ func (s *System) authenticate(gid int, members uint32, gt *groupTiming) uint64 {
 // ForceAuthentication runs an immediate authentication round (used by
 // tests and by the attack analyzer to bound detection latency).
 func (s *System) ForceAuthentication(gid int) {
-	gt := s.timing[gid]
+	gt := s.timingFor(gid)
 	if gt == nil {
 		return
 	}

@@ -323,7 +323,7 @@ func (h *protectionHooks) AfterMemoryFill(p *sim.Proc, n *coherence.Node, t *bus
 	if h.m.Memsec != nil {
 		if addr, ok := h.m.Memsec.TakePendingRequest(n.ID); ok {
 			// The SNC missed: fetch the fresh sequence number on the bus.
-			n.Bus.Transact(p, &bus.Transaction{Kind: bus.PadReq, Addr: addr, Src: n.ID, GID: n.GID})
+			n.Signal(p, bus.PadReq, addr)
 		}
 	}
 	if h.m.Tree != nil {
@@ -340,7 +340,7 @@ func (h *protectionHooks) AfterWriteBack(p *sim.Proc, n *coherence.Node, addr ui
 		if h.m.Memsec.WriteUpdate() {
 			kind = bus.PadUpd
 		}
-		n.Bus.Transact(p, &bus.Transaction{Kind: kind, Addr: addr, Src: n.ID, GID: n.GID})
+		n.Signal(p, kind, addr)
 	}
 	if h.m.Tree != nil {
 		h.m.Tree.AfterWriteBack(p, n, addr, data)

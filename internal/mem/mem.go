@@ -7,10 +7,7 @@
 // on a real DIMM would.
 package mem
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // LineSize is the storage granularity in bytes, matching the L2 line size
 // of the paper's configuration (Figure 5).
@@ -22,10 +19,28 @@ const WordSize = 8
 // Line is one memory line.
 type Line [LineSize]byte
 
+// Paging geometry: the store is a two-level flat array — a page table
+// indexed by the high bits of the line number, each entry holding a
+// fixed 512-line (32 KiB) page. Simulated addresses come from the
+// machine's bump allocator, so the space is dense from zero and the
+// table stays tiny; lookup is two shifts and two loads instead of a
+// map probe on every fetch and write-back.
+const (
+	pageLineBits = 9
+	pageLines    = 1 << pageLineBits
+)
+
+// page is one 32 KiB slab of lines plus the touched bitmap that keeps
+// Touched() exact (the sparse map used to record first access for free).
+type page struct {
+	lines   [pageLines]Line
+	touched [pageLines / 64]uint64
+}
+
 // Store is a sparse line-addressed memory. The zero value is empty and
 // ready to use via New.
 type Store struct {
-	lines map[uint64]*Line
+	pages []*page // indexed by line number >> pageLineBits; nil = untouched
 
 	// Reads and Writes count line-granular accesses (for stats).
 	Reads  uint64
@@ -34,7 +49,7 @@ type Store struct {
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{lines: make(map[uint64]*Line)}
+	return &Store{}
 }
 
 // LineAddr returns the line-aligned address containing addr.
@@ -42,18 +57,26 @@ func New() *Store {
 //senss-lint:hotpath
 func LineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }
 
-// line returns the line containing addr, allocating it zeroed on demand.
+// line returns the line containing addr, allocating its page zeroed on
+// demand and recording the touch.
 //
 //senss-lint:hotpath
 func (s *Store) line(addr uint64) *Line {
-	la := LineAddr(addr)
-	l, ok := s.lines[la]
-	if !ok {
-		//senss-lint:ignore hotpath first-touch growth: each line is allocated once, then reused for the run
-		l = new(Line)
-		s.lines[la] = l
+	li := addr / LineSize
+	pi := li >> pageLineBits
+	if pi >= uint64(len(s.pages)) {
+		//senss-lint:ignore hotpath first-touch growth: the page table reaches its final size once the workload's footprint is allocated
+		s.pages = append(s.pages, make([]*page, pi+1-uint64(len(s.pages)))...)
 	}
-	return l
+	p := s.pages[pi]
+	if p == nil {
+		//senss-lint:ignore hotpath first-touch growth: each 32 KiB page is allocated once, then reused for the run
+		p = new(page)
+		s.pages[pi] = p
+	}
+	off := li & (pageLines - 1)
+	p.touched[off>>6] |= 1 << (off & 63)
+	return &p.lines[off]
 }
 
 // ReadLine copies the line containing addr into dst.
@@ -113,11 +136,21 @@ func (s *Store) Tamper(addr uint64, mask byte) {
 // so callers that derive state from the line set (memsec encryption sweep,
 // integrity tree construction) stay bit-reproducible.
 func (s *Store) Touched() []uint64 {
-	out := make([]uint64, 0, len(s.lines))
-	for a := range s.lines {
-		out = append(out, a)
+	var out []uint64
+	for pi, p := range s.pages {
+		if p == nil {
+			continue
+		}
+		for w, bits := range p.touched {
+			for b := 0; bits != 0; b++ {
+				if bits&1 != 0 {
+					li := uint64(pi)<<pageLineBits | uint64(w<<6|b)
+					out = append(out, li*LineSize)
+				}
+				bits >>= 1
+			}
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

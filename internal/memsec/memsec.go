@@ -116,9 +116,12 @@ type Layer struct {
 	seq     map[uint64]uint64 // line address → current sequence (≥1 once touched)
 	pads    []*padCache       // per processor
 
-	// pendingReq records, per processor, the line whose fetch just missed
-	// the pad cache; the node hook turns it into a PadReq transaction.
-	pendingReq map[int]uint64
+	// pendingReq/pendingSet record, per processor, the line whose fetch
+	// just missed the pad cache; the node hook turns it into a PadReq
+	// transaction. Flat per-PID slots, not a map: the slot is written and
+	// consumed once per pad miss on the fill path.
+	pendingReq []uint64
+	pendingSet []bool
 
 	// padScratch and storeScratch are reusable line-sized buffers for pad
 	// material and ciphertext staging: without them every protected fetch
@@ -140,7 +143,8 @@ func New(backing *mem.Store, cipher crypto.BlockCipher, nprocs int, params Param
 		cipher:     cipher,
 		backing:    backing,
 		seq:        make(map[uint64]uint64),
-		pendingReq: make(map[int]uint64),
+		pendingReq: make([]uint64, nprocs),
+		pendingSet: make([]bool, nprocs),
 	}
 	for i := 0; i < nprocs; i++ {
 		capacity := params.PadEntries
@@ -233,6 +237,7 @@ func (l *Layer) Fetch(t *bus.Transaction, dst []byte) uint64 {
 			l.Stats.PadMisses++
 			extra = l.params.AESLatency
 			l.pendingReq[t.Src] = t.Addr
+			l.pendingSet[t.Src] = true
 			pc.put(t.Addr, seq)
 		}
 	}
@@ -288,12 +293,12 @@ func (l *Layer) Store(t *bus.Transaction, src []byte) uint64 {
 // pid just missed the pad cache — the node hook issues the corresponding
 // PadReq bus transaction.
 func (l *Layer) TakePendingRequest(pid int) (uint64, bool) {
-	addr, ok := l.pendingReq[pid]
-	if ok {
-		delete(l.pendingReq, pid)
-		l.Stats.Requests++
+	if pid < 0 || pid >= len(l.pendingSet) || !l.pendingSet[pid] {
+		return 0, false
 	}
-	return addr, ok
+	l.pendingSet[pid] = false
+	l.Stats.Requests++
+	return l.pendingReq[pid], true
 }
 
 // NoteInvalidate counts a PadInv/PadUpd broadcast (issued by the writer's

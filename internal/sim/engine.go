@@ -4,73 +4,40 @@
 // The SMP model is written in blocking style: each simulated processor runs
 // its program inside a proc; memory-hierarchy layers charge simulated cycles
 // by calling Sleep, and contention points (the bus arbiter, spinlocks) are
-// expressed with wait queues.  Exactly one proc executes at a time — the
-// engine hands a single run token to whichever event is next in (cycle,
-// sequence) order — so the whole simulation is single-threaded in effect and
-// bit-reproducible for a fixed seed, which DESIGN.md §6 requires.
+// expressed with wait queues.  Exactly one proc executes at a time — a single
+// run token moves to whichever event is next in (cycle, sequence) order — so
+// the whole simulation is single-threaded in effect and bit-reproducible for
+// a fixed seed, which DESIGN.md §6 requires.
+//
+// Scheduling is direct-handoff: the goroutine that holds the run token
+// (a proc inside Sleep/Park, or the engine inside RunUntil) pops the next
+// event itself and hands the token straight to its target. When a proc's own
+// resumption is the next event it simply keeps running — zero channel
+// operations — and otherwise a handoff costs one channel send, instead of
+// the two sends plus two receives of a central dispatcher loop. The profile
+// that motivated this (see DESIGN.md §16) showed ~70% of simulation time in
+// exactly that dispatcher round trip. Events live in a calendar queue
+// (calqueue.go) rather than a binary heap for the same reason: O(1)
+// value-typed push/pop with no comparison sorting on the hot path.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
-
-// event is a scheduled occurrence: either an engine-context callback or the
-// resumption of a parked proc.
-type event struct {
-	at   uint64
-	seq  uint64
-	fn   func()
-	proc *Proc
-}
-
-// eventHeap orders events by (cycle, insertion sequence).
-type eventHeap []*event
-
-//senss-lint:hotpath
-func (h eventHeap) Len() int { return len(h) }
-
-//senss-lint:hotpath
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-//senss-lint:hotpath
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-//senss-lint:hotpath
-func (h *eventHeap) Push(x any) {
-	//senss-lint:ignore hotpath amortized growth: the heap reaches steady-state capacity after warmup
-	*h = append(*h, x.(*event))
-}
-
-//senss-lint:hotpath
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+import "fmt"
 
 // Engine owns simulated time and the run token.
 type Engine struct {
-	now    uint64
-	seq    uint64
-	events eventHeap
-	// free recycles event records: the steady state schedules and retires
-	// one event per Sleep/Unpark, so without a freelist every simulated
-	// cycle heap-allocates (hotpath discipline, DESIGN.md §13).
-	free []*event
-	// yield receives control back from the currently running proc.
-	yield chan struct{}
-	live  int // procs spawned and not yet finished
+	now uint64
+	seq uint64
+	q   calQueue
+	// deadline is the active run slice's bound; dispatch stops before
+	// popping any event beyond it. Run uses MaxUint64.
+	deadline uint64
+	// stop records why the token came back to the engine.
+	stop stopReason
+	// ctl hands the run token from a stopping proc back to RunUntil.
+	ctl  chan struct{}
+	live int // procs spawned and not yet finished
 	// procs registers every spawned proc so Abort can reach the ones
-	// parked outside the event heap (wait queues hold them privately).
+	// parked outside the event queue (wait queues hold them privately).
 	procs    []*Proc
 	limit    uint64
 	halted   bool
@@ -78,34 +45,19 @@ type Engine struct {
 	aborting bool
 }
 
-// newEvent pops a recycled event record or allocates a fresh one.
-//
-//senss-lint:hotpath
-func (e *Engine) newEvent(at, seq uint64, fn func(), proc *Proc) *event {
-	if n := len(e.free); n > 0 {
-		ev := e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn, ev.proc = at, seq, fn, proc
-		return ev
-	}
-	//senss-lint:ignore hotpath first-touch growth: the freelist feeds every later steady-state event
-	return &event{at: at, seq: seq, fn: fn, proc: proc}
-}
+// stopReason says why dispatch returned the token to the engine.
+type stopReason uint8
 
-// releaseEvent returns a retired event record to the freelist. The caller
-// must not hold any reference to ev afterwards.
-//
-//senss-lint:hotpath
-func (e *Engine) releaseEvent(ev *event) {
-	ev.fn, ev.proc = nil, nil
-	//senss-lint:ignore hotpath amortized growth: the freelist reaches steady-state capacity after warmup
-	e.free = append(e.free, ev)
-}
+const (
+	stopEmpty    stopReason = iota // no events remain
+	stopHalt                       // Engine.Halt was called
+	stopDeadline                   // next event lies beyond the slice deadline
+	stopLimit                      // simulated time passed the cycle limit
+)
 
 // NewEngine returns an empty engine at cycle 0.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{ctl: make(chan struct{})}
 }
 
 // Now returns the current simulated cycle.
@@ -121,7 +73,7 @@ func (e *Engine) Schedule(at uint64, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, e.newEvent(at, e.seq, fn, nil))
+	e.q.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After runs fn in engine context after delay cycles.
@@ -179,7 +131,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 			}
 			p.done = true
 			e.live--
-			e.yield <- struct{}{}
+			e.retire(p)
 		}()
 		<-p.wake // wait for the start event to hand us the token
 		if e.aborting {
@@ -187,21 +139,91 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.Schedule(e.now, func() { e.resume(p) })
+	e.seq++
+	e.q.push(event{at: e.now, seq: e.seq, p: p}) // the start event
 	return p
 }
 
-// resume hands the run token to p and waits for it to come back. Engine
-// context only.
+// dispatch pops and runs events while the caller holds the run token,
+// until the token must leave it. self is the proc giving up the token (it
+// has already scheduled its own resumption, or parked), or nil when the
+// engine dispatches from RunUntil.
+//
+// It returns true only when self's own resumption event came up — the
+// caller keeps the token and simply continues, with no channel traffic at
+// all (the common case whenever other procs are blocked or idle this
+// cycle). On false the token has moved: to another proc (one channel
+// send), or back to the engine with e.stop recording why.
+//
+// fn events run inline under the caller's goroutine; they are engine
+// context either way because their code never blocks or sleeps.
 //
 //senss-lint:hotpath
-func (e *Engine) resume(p *Proc) {
-	if p.done {
-		panic(fmt.Sprintf("sim: resuming finished proc %q", p.name))
+func (e *Engine) dispatch(self *Proc) bool {
+	for {
+		at, ok := e.q.peekAt()
+		if !ok {
+			return e.handback(self, stopEmpty)
+		}
+		if e.halted {
+			return e.handback(self, stopHalt)
+		}
+		if at > e.deadline {
+			return e.handback(self, stopDeadline)
+		}
+		ev := e.q.popAt(at)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		if e.limit != 0 && e.now > e.limit {
+			return e.handback(self, stopLimit)
+		}
+		if ev.p == nil {
+			ev.fn()
+			continue
+		}
+		if ev.p == self {
+			return true
+		}
+		if ev.p.done {
+			panic(fmt.Sprintf("sim: resuming finished proc %q", ev.p.name))
+		}
+		ev.p.parked = false
+		ev.p.wake <- struct{}{}
+		if self == nil {
+			// The engine keeps waiting here until a proc stops the
+			// slice and hands the token back through ctl.
+			<-e.ctl
+		}
+		return false
 	}
-	p.parked = false
-	p.wake <- struct{}{}
-	<-e.yield
+}
+
+// handback routes the run token to the engine with the given stop reason.
+// A proc does it over ctl (RunUntil's dispatch is blocked receiving); the
+// engine's own dispatch just returns.
+//
+//senss-lint:hotpath
+func (e *Engine) handback(self *Proc, why stopReason) bool {
+	e.stop = why
+	if self != nil {
+		e.ctl <- struct{}{}
+	}
+	return false
+}
+
+// retire runs as the final act of a proc's goroutine, which still holds
+// the run token: during teardown it returns the token to Abort, otherwise
+// it dispatches onward like a Sleep that never wakes.
+func (e *Engine) retire(p *Proc) {
+	if e.aborting {
+		e.ctl <- struct{}{}
+		return
+	}
+	if e.dispatch(p) {
+		panic(fmt.Sprintf("sim: event scheduled for finished proc %q", p.name))
+	}
 }
 
 // Sleep suspends the proc for d simulated cycles (0 means yield to other
@@ -211,8 +233,10 @@ func (e *Engine) resume(p *Proc) {
 func (p *Proc) Sleep(d uint64) {
 	e := p.e
 	e.seq++
-	heap.Push(&e.events, e.newEvent(e.now+d, e.seq, nil, p))
-	e.yield <- struct{}{}
+	e.q.push(event{at: e.now + d, seq: e.seq, p: p})
+	if e.dispatch(p) {
+		return // own resumption was next: keep the token
+	}
 	<-p.wake
 	if e.aborting {
 		panic(procAborted)
@@ -224,10 +248,15 @@ func (p *Proc) Sleep(d uint64) {
 //
 //senss-lint:hotpath
 func (p *Proc) Park() {
+	e := p.e
 	p.parked = true
-	p.e.yield <- struct{}{}
+	if e.dispatch(p) {
+		// An Unpark at this cycle was already queued before we parked.
+		p.parked = false
+		return
+	}
 	<-p.wake
-	if p.e.aborting {
+	if e.aborting {
 		panic(procAborted)
 	}
 }
@@ -238,7 +267,7 @@ func (p *Proc) Park() {
 //senss-lint:hotpath
 func (e *Engine) Unpark(q *Proc) {
 	e.seq++
-	heap.Push(&e.events, e.newEvent(e.now, e.seq, nil, q))
+	e.q.push(event{at: e.now, seq: e.seq, p: q})
 }
 
 // DeadlockError reports that no events remain while procs are still alive.
@@ -284,45 +313,30 @@ func (e *Engine) Run() error {
 //
 //senss-lint:hotpath
 func (e *Engine) RunUntil(deadline uint64) (done bool, err error) {
-	for len(e.events) > 0 {
-		if e.halted {
-			return true, nil
+	e.deadline = deadline
+	e.dispatch(nil)
+	switch e.stop {
+	case stopDeadline:
+		// The slice is exhausted: advance the clock so the next
+		// slice's deadline moves forward even across empty gaps.
+		// This never affects the final state — completion below
+		// happens while popping events, with now at the last event.
+		if deadline > e.now {
+			e.now = deadline
 		}
-		if e.events[0].at > deadline {
-			// The slice is exhausted: advance the clock so the next
-			// slice's deadline moves forward even across empty gaps.
-			// This never affects the final state — completion below
-			// happens while popping events, with now at the last event.
-			if deadline > e.now {
-				e.now = deadline
-			}
-			return false, nil
-		}
-		ev := heap.Pop(&e.events).(*event)
-		if ev.at < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = ev.at
-		if e.limit != 0 && e.now > e.limit {
-			//senss-lint:ignore hotpath failure path: the run is over, one error record is fine
-			return true, &LimitError{Limit: e.limit}
-		}
-		// Recycle the record before dispatch: nothing references it once
-		// popped, and the dispatched proc/fn may schedule new events that
-		// want it back.
-		proc, fn := ev.proc, ev.fn
-		e.releaseEvent(ev)
-		if proc != nil {
-			e.resume(proc)
-		} else {
-			fn()
-		}
-	}
-	if e.live > 0 {
+		return false, nil
+	case stopHalt:
+		return true, nil
+	case stopLimit:
 		//senss-lint:ignore hotpath failure path: the run is over, one error record is fine
-		return true, &DeadlockError{Cycle: e.now, Parked: e.parkedNames()}
+		return true, &LimitError{Limit: e.limit}
+	default: // stopEmpty
+		if e.live > 0 {
+			//senss-lint:ignore hotpath failure path: the run is over, one error record is fine
+			return true, &DeadlockError{Cycle: e.now, Parked: e.parkedNames()}
+		}
+		return true, nil
 	}
-	return true, nil
 }
 
 // Abort tears the simulation down mid-run: every live proc — parked,
@@ -335,12 +349,12 @@ func (e *Engine) Abort() {
 	e.aborting = true
 	for _, p := range e.procs {
 		if !p.done {
-			e.resume(p)
+			p.wake <- struct{}{} // wakes into the sentinel panic…
+			<-e.ctl              // …whose retire hands the token back
 		}
 	}
 	e.procs = nil
-	e.events = nil
-	e.free = nil
+	e.q.reset()
 }
 
 // parkedNames describes the still-live procs for the deadlock report.

@@ -363,8 +363,8 @@ func TestAbortTerminatesLiveProcs(t *testing.T) {
 	if e.live != 0 {
 		t.Errorf("live = %d after Abort, want 0", e.live)
 	}
-	if len(e.events) != 0 {
-		t.Errorf("%d events survived Abort", len(e.events))
+	if e.q.len() != 0 {
+		t.Errorf("%d events survived Abort", e.q.len())
 	}
 	// The sleeper's deferred cleanup observed the unwind; the parked and
 	// unstarted procs likewise.
