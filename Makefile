@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint taintflow hotpath race farm-race serve-race oracle fuzz-smoke figures bench-sim bench-check bench-crypto bench-serve speed-smoke serve-smoke verify clean
+.PHONY: all build test vet lint taintflow hotpath lockguard race farm-race serve-race oracle fuzz-smoke figures bench-sim bench-check bench-crypto bench-serve speed-smoke serve-smoke verify clean
 
 all: verify
 
@@ -28,6 +28,14 @@ taintflow: build
 # fast loop while annotating or remediating hot code.
 hotpath: build
 	$(GO) run ./cmd/senss-lint -analyzer hotpath ./...
+
+# lockguard runs only the lock-discipline analyzer (guarded fields,
+# unlock paths, lock ordering, goroutine/blocking hygiene; DESIGN.md
+# section 17). The full `lint` target already includes it; this target is
+# the fast loop while annotating //senss-lint:guardedby fields or
+# remediating concurrency findings.
+lockguard: build
+	$(GO) run ./cmd/senss-lint -analyzer lockguard ./...
 
 race:
 	$(GO) test -race ./...
@@ -106,7 +114,7 @@ serve-smoke: build
 
 # verify is the full pre-merge gate: everything CI runs, in order of
 # increasing cost.
-verify: build vet lint test farm-race serve-race race oracle speed-smoke serve-smoke bench-check fuzz-smoke
+verify: build vet lint lockguard test farm-race serve-race race oracle speed-smoke serve-smoke bench-check fuzz-smoke
 
 clean:
 	$(GO) clean ./...

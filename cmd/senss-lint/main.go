@@ -1,7 +1,9 @@
 // Command senss-lint runs the repository's domain-specific static-analysis
 // suite (package internal/lint) over the module: determinism, banned
-// nondeterminism primitives, secret hygiene, cycle accounting, and error
-// discipline.
+// nondeterminism primitives, secret hygiene, cycle accounting, error
+// discipline, secret taint flow, hot-path allocation discipline, and
+// lock discipline (guarded fields, unlock paths, lock ordering,
+// goroutine/blocking hygiene).
 //
 // Usage:
 //

@@ -147,11 +147,20 @@ func cmdServe(args []string) error {
 	hs := &http.Server{Handler: srv.Handler()}
 	if *smoke {
 		go hs.Serve(ln)
-		defer func() { _ = hs.Close() }()
+		defer closeServer(hs)
 		return runSmoke(srv, "http://"+ln.Addr().String())
 	}
 	fmt.Printf("senss-serve: listening on http://%s\n", ln.Addr())
 	return hs.Serve(ln)
+}
+
+// closeServer tears down an ephemeral in-process HTTP server. The
+// process is exiting either way, but a failed teardown still gets a line
+// on stderr rather than vanishing into a blank discard.
+func closeServer(hs *http.Server) {
+	if err := hs.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "senss-serve: closing http server: %v\n", err)
+	}
 }
 
 // runSmoke drives one secured session to completion through the real
@@ -201,7 +210,7 @@ func cmdBench(args []string) error {
 		}
 		hs := &http.Server{Handler: srv.Handler()}
 		go hs.Serve(ln)
-		defer func() { _ = hs.Close() }()
+		defer closeServer(hs)
 		baseURL = "http://" + ln.Addr().String()
 	}
 

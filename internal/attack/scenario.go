@@ -55,7 +55,10 @@ func protocolRig(seed uint64, params core.Params) (*core.System, int, func(n int
 	authIV := aes.Block(r.Block16())
 	members := core.MemberMask(0, 1, 2, 3)
 	table := core.NewGroupTable()
-	gid, _ := table.Allocate(members)
+	gid, err := table.Allocate(members)
+	if err != nil {
+		panic(err)
+	}
 	if err := sys.Establish(gid, key, members, encIV, authIV); err != nil {
 		panic(err)
 	}

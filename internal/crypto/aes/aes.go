@@ -150,6 +150,8 @@ func New(key []byte) (*Cipher, error) {
 
 // NewFromBlock expands a Block-typed key. It cannot fail because a Block is
 // always KeySize bytes.
+//
+//senss-lint:ignore droppederr a Block is always KeySize bytes, the one condition New rejects
 func NewFromBlock(key Block) *Cipher {
 	c, _ := New(key[:])
 	return c

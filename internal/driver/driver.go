@@ -203,8 +203,7 @@ func Run(name string, size workload.Size, cfg machine.Config) (stats.Run, error)
 	for {
 		done, err := s.Step(math.MaxUint64)
 		if done {
-			res, _ := s.Result()
-			return res, err
+			return s.result, err
 		}
 	}
 }

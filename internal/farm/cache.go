@@ -42,8 +42,10 @@ type CacheStats struct {
 type Cache struct {
 	dir string
 
-	mu   sync.Mutex
-	mem  map[string]stats.Run
+	mu sync.Mutex
+	//senss-lint:guardedby mu
+	mem map[string]stats.Run
+	//senss-lint:guardedby mu
 	cnts CacheStats
 }
 

@@ -15,12 +15,17 @@ import (
 type Reporter struct {
 	w io.Writer
 
-	mu     sync.Mutex
-	total  int
-	done   int
+	mu sync.Mutex
+	//senss-lint:guardedby mu
+	total int
+	//senss-lint:guardedby mu
+	done int
+	//senss-lint:guardedby mu
 	cached int
+	//senss-lint:guardedby mu
 	failed int
-	start  time.Time
+	//senss-lint:guardedby mu
+	start time.Time
 }
 
 // NewReporter builds a reporter writing carriage-return progress lines

@@ -14,7 +14,18 @@ import (
 // Best-effort writers are excluded: the fmt print family and writes to
 // in-memory sinks (bytes.Buffer, strings.Builder) conventionally never
 // fail in ways the caller can act on. An explicit `_ =` assignment is a
-// conscious decision and is not flagged.
+// conscious decision and is not flagged — with two exceptions closing the
+// cleanup-path blind spot:
+//
+//   - `_ = f.Close()` inside a deferred func literal. Wrapping a discard
+//     in `defer func() { ... }()` is exactly where Close errors vanish
+//     (flush failures on writers, zeroize failures on teardown); the
+//     cleanup error must be logged or folded into the surrounding
+//     function's error with errors.Join.
+//   - A multi-value assignment that blanks only the error while binding
+//     the other results (`n, _ := f.Write(p)`): the caller demonstrably
+//     cares about the outcome yet discards the failure. Blanking every
+//     result (`_, _ =`) remains the conscious all-or-nothing form.
 func AnalyzerDroppedErr() *Analyzer {
 	a := &Analyzer{
 		Name: "droppederr",
@@ -23,22 +34,112 @@ func AnalyzerDroppedErr() *Analyzer {
 	a.Run = func(pass *Pass) {
 		for _, f := range pass.Pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
-				var call *ast.CallExpr
 				switch n := n.(type) {
 				case *ast.ExprStmt:
-					call, _ = n.X.(*ast.CallExpr)
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						checkDroppedCall(pass, call)
+					}
 				case *ast.DeferStmt:
-					call = n.Call
+					if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+						checkDeferredCleanup(pass, lit.Body)
+					} else {
+						checkDroppedCall(pass, n.Call)
+					}
+				case *ast.AssignStmt:
+					checkPartialBlank(pass, n)
 				}
-				if call == nil || !returnsError(pass, call) || excludedSink(pass, call) {
-					return true
-				}
-				pass.Reportf(call.Pos(), "error result of %s is dropped; handle it or assign it to _ explicitly", calleeLabel(call))
 				return true
 			})
 		}
 	}
 	return a
+}
+
+// checkDroppedCall flags a statement-position call discarding an error.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr) {
+	if !returnsError(pass, call) || excludedSink(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s is dropped; handle it or assign it to _ explicitly", calleeLabel(call))
+}
+
+// checkDeferredCleanup flags `_ = call()` blank discards in the body of a
+// deferred func literal. Nested func literals get their own visit from
+// the outer walk (and a non-deferred closure is not a cleanup path), so
+// the scan stops at them.
+func checkDeferredCleanup(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || !isBlank(as.Lhs[0]) {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !returnsError(pass, call) || excludedSink(pass, call) {
+			return true
+		}
+		pass.Reportf(as.Pos(), "error result of %s is blanked in deferred cleanup; log it or join it into the function's error with errors.Join", calleeLabel(call))
+		return true
+	})
+}
+
+// checkPartialBlank flags assignments that blank only the error position
+// of a call while binding its other results.
+func checkPartialBlank(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) < 2 {
+		return
+	}
+	someBound := false
+	for _, l := range as.Lhs {
+		if !isBlank(l) {
+			someBound = true
+		}
+	}
+	if !someBound {
+		return
+	}
+	if len(as.Rhs) == 1 {
+		// Tuple form: x, _ := call().
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || excludedSink(pass, call) {
+			return
+		}
+		tup, ok := pass.TypeOf(call).(*types.Tuple)
+		if !ok || tup.Len() != len(as.Lhs) {
+			return
+		}
+		for i := 0; i < tup.Len(); i++ {
+			if isBlank(as.Lhs[i]) && isErrorType(tup.At(i).Type()) {
+				pass.Reportf(as.Pos(), "error result of %s is blanked while its other results are used; handle it or discard every result", calleeLabel(call))
+				return
+			}
+		}
+		return
+	}
+	// Paired form: a, _ = f(), mayFail().
+	if len(as.Rhs) != len(as.Lhs) {
+		return
+	}
+	for i, r := range as.Rhs {
+		if !isBlank(as.Lhs[i]) {
+			continue
+		}
+		call, ok := r.(*ast.CallExpr)
+		if !ok || excludedSink(pass, call) {
+			continue
+		}
+		if t := pass.TypeOf(call); t != nil && isErrorType(t) {
+			pass.Reportf(as.Pos(), "error result of %s is blanked while its other results are used; handle it or discard every result", calleeLabel(call))
+		}
+	}
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
 }
 
 // returnsError reports whether any result of the call is an error.

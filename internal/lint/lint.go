@@ -162,6 +162,7 @@ func Registry() []*Analyzer {
 		AnalyzerDroppedErr(),
 		AnalyzerTaintflow(),
 		AnalyzerHotpath(),
+		AnalyzerLockguard(),
 	}
 }
 

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io/fs"
 	"os"
@@ -122,6 +123,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"suppress", lint.AnalyzerDroppedErr()},
 		{"taint", lint.AnalyzerTaintflow()},
 		{"hotpath", lint.AnalyzerHotpath()},
+		{"lockguard", lint.AnalyzerLockguard()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -172,6 +174,99 @@ func TestModuleClean(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Errorf("senss-lint found %d issue(s); the tree must stay lint-clean", len(diags))
+	}
+}
+
+// TestModuleLockOrder pins the module's annotated lock-acquisition graph
+// against a checked-in golden. The sanctioned graph has every guard class
+// and no edges at all — the serving and orchestration layers never nest
+// annotated locks — so any future nesting (a deadlock precursor) fails
+// this test and must be reviewed into the golden deliberately.
+func TestModuleLockOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader := newLoader(t)
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, edges := lint.LockOrderGraph(pkgs)
+	got := struct {
+		Classes []string            `json:"classes"`
+		Edges   map[string][]string `json:"edges"`
+	}{Classes: classes, Edges: edges}
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON = append(gotJSON, '\n')
+	golden := filepath.Join("testdata", "lockorder_module.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(want) {
+		t.Errorf("module lock-order graph drifted from %s\n--- got ---\n%s--- want ---\n%s", golden, gotJSON, want)
+	}
+}
+
+// TestLockguardPlantedUnlock is the planted-regression gate: the
+// lockserve fixture (a stdlib-only mirror of serve's lock-striped table)
+// is clean as checked in, and removing the one marked Unlock from
+// Table.Delete must produce the missing-release finding.
+func TestLockguardPlantedUnlock(t *testing.T) {
+	loader := newLoader(t)
+	clean, err := loader.LoadDir(filepath.Join("testdata", "lockserve"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range clean.TypeErrors {
+		t.Errorf("lockserve fixture does not type-check: %v", terr)
+	}
+	a := lint.AnalyzerLockguard()
+	a.Scope = nil
+	if diags := lint.RunAnalyzers([]*lint.Analyzer{a}, []*lint.Package{clean}); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("clean lockserve fixture: %s", d)
+		}
+		t.Fatal("lockserve fixture must be lint-clean before mutation")
+	}
+
+	src, err := os.ReadFile(filepath.Join("testdata", "lockserve", "table.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := "s.mu.Unlock() // planted-unlock"
+	if !strings.Contains(string(src), marker) {
+		t.Fatalf("lockserve fixture lost its planted-unlock marker")
+	}
+	mutated := strings.Replace(string(src), marker, "// planted-unlock removed", 1)
+	dir := filepath.Join(t.TempDir(), "lockserve")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "table.go"), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := lint.AnalyzerLockguard()
+	b.Scope = nil
+	diags := lint.RunAnalyzers([]*lint.Analyzer{b}, []*lint.Package{pkg})
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "not released on this return path") {
+			found = true
+		}
+	}
+	if !found {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Error("removing the Unlock from Table.Delete was not caught")
 	}
 }
 
@@ -244,37 +339,42 @@ func TestContentHash(t *testing.T) {
 		t.Error("hash ignores the analyzer set")
 	}
 
-	// The senss-farm lint cache keys on the registry names, so adding an
-	// analyzer (hotpath, PR 6) must invalidate old cache entries: the
-	// registry must carry the new name, and a hash over the full registry
-	// must differ from one missing it.
+	// The senss-farm lint cache keys on the registry names, so every
+	// analyzer added since (hotpath in PR 6, lockguard in this PR) must
+	// invalidate old cache entries: the registry must carry the name, and
+	// a hash over the full registry must differ from one missing it —
+	// that difference is exactly what retires stale 7-analyzer verdicts.
 	var names []string
-	hasHotpath := false
 	for _, a := range lint.Registry() {
 		names = append(names, a.Name)
-		if a.Name == "hotpath" {
-			hasHotpath = true
+	}
+	for _, added := range []string{"hotpath", "lockguard"} {
+		present := false
+		for _, n := range names {
+			if n == added {
+				present = true
+			}
 		}
-	}
-	if !hasHotpath {
-		t.Fatal("registry does not include hotpath; farm lint caching would miss it")
-	}
-	hFull, err := lint.ContentHash(names, pkgs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var without []string
-	for _, n := range names {
-		if n != "hotpath" {
-			without = append(without, n)
+		if !present {
+			t.Fatalf("registry does not include %s; farm lint caching would miss it", added)
 		}
-	}
-	hWithout, err := lint.ContentHash(without, pkgs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if hFull == hWithout {
-		t.Error("hash insensitive to the hotpath analyzer; stale farm cache entries would be reused")
+		hFull, err := lint.ContentHash(names, pkgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var without []string
+		for _, n := range names {
+			if n != added {
+				without = append(without, n)
+			}
+		}
+		hWithout, err := lint.ContentHash(without, pkgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hFull == hWithout {
+			t.Errorf("hash insensitive to the %s analyzer; stale farm cache entries would be reused", added)
+		}
 	}
 }
 

@@ -196,6 +196,8 @@ func (l *Loader) loadDir(dir, importPath, relPath string) (*Package, error) {
 	}
 	// The returned error duplicates the first entry of TypeErrors; analysis
 	// is best-effort over whatever type information survived.
+	//
+	//senss-lint:ignore droppederr the Error hook above already captured every type error; Check's return duplicates the first one
 	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
 	pkg.Types = tpkg
 	pkg.Info = info

@@ -140,10 +140,21 @@ func collectSuppressions(pkg *Package, known map[string]bool) *suppressions {
 					}
 					continue
 				}
+				if len(fields) > 0 && fields[0] == "guardedby" {
+					// A guarded-field annotation, consumed by the lockguard
+					// analyzer; the mutex field name is mandatory.
+					if len(fields) < 2 {
+						s.problems = append(s.problems, Diagnostic{
+							Analyzer: "lintdirective", Pos: pos,
+							Message: "senss-lint:guardedby needs the name of the mutex field that guards this field",
+						})
+					}
+					continue
+				}
 				if len(fields) == 0 || (fields[0] != "ignore" && fields[0] != "file-ignore") {
 					s.problems = append(s.problems, Diagnostic{
 						Analyzer: "lintdirective", Pos: pos,
-						Message: "malformed senss-lint directive: want ignore, file-ignore, secret, hotpath, or coldpath",
+						Message: "malformed senss-lint directive: want ignore, file-ignore, secret, hotpath, coldpath, or guardedby",
 					})
 					continue
 				}

@@ -43,3 +43,44 @@ func BestEffort(sb *strings.Builder) {
 	fmt.Println("status")
 	sb.WriteString("ok")
 }
+
+// DeferBlank hides a cleanup failure inside a deferred closure: flagged.
+func DeferBlank(f *os.File) {
+	defer func() {
+		_ = f.Close() // want "error result of f.Close is blanked in deferred cleanup"
+	}()
+}
+
+// DeferLogged reports the cleanup failure: accepted.
+func DeferLogged(f *os.File) {
+	defer func() {
+		if err := f.Close(); err != nil {
+			fmt.Println("close:", err)
+		}
+	}()
+}
+
+// DeferJoined folds the cleanup failure into the named return: accepted.
+func DeferJoined(f *os.File) (err error) {
+	defer func() {
+		err = errors.Join(err, f.Close())
+	}()
+	return nil
+}
+
+// PartialBlank uses the value but blanks the error: flagged.
+func PartialBlank() int {
+	n, _ := pair() // want "error result of pair is blanked while its other results are used"
+	return n
+}
+
+// PairedBlank blanks only the error position of a paired assignment: flagged.
+func PairedBlank() int {
+	n, _ := 1, mayFail() // want "error result of mayFail is blanked while its other results are used"
+	return n
+}
+
+// AllBlank discards every result explicitly: accepted.
+func AllBlank() {
+	_, _ = pair()
+}

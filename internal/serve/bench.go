@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -83,7 +84,7 @@ type benchClient struct {
 	hc   *http.Client
 }
 
-func (c *benchClient) do(method, path string, body, out any) (int, error) {
+func (c *benchClient) do(method, path string, body, out any) (status int, err error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -103,7 +104,9 @@ func (c *benchClient) do(method, path string, body, out any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer func() { _ = resp.Body.Close() }()
+	// A Close failure means the connection is not reusable; fold it into
+	// the result rather than blanking it.
+	defer func() { err = errors.Join(err, resp.Body.Close()) }()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return resp.StatusCode, err

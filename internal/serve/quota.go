@@ -39,10 +39,13 @@ func (e *QuotaError) Unwrap() error { return core.ErrGroupsExhausted }
 // instead of per-machine trivia.
 type Accountant struct {
 	mu       sync.Mutex
-	capacity int
-	quota    int // per-tenant limit; 0 = bounded only by capacity
-	inUse    int
-	peak     int
+	capacity int // immutable after construction
+	quota    int // per-tenant limit; 0 = bounded only by capacity; immutable
+	//senss-lint:guardedby mu
+	inUse int
+	//senss-lint:guardedby mu
+	peak int
+	//senss-lint:guardedby mu
 	byTenant map[string]int
 }
 

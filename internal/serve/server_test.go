@@ -373,6 +373,142 @@ func TestServeEviction(t *testing.T) {
 	}
 }
 
+// rawStatus issues one request and returns only the status code, with
+// transport failures as an error — safe to call from helper goroutines,
+// unlike call, which t.Fatals.
+func rawStatus(client *http.Client, method, url string, body any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if err := resp.Body.Close(); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}
+
+// TestServeEvictionRace is lockguard's dynamic counterpart: under -race
+// it interleaves DELETE, janitor idle-eviction sweeps, and concurrent
+// steps on the same session, round after round. The invariants are the
+// close()-winner protocol's: the quota is released exactly once per
+// session (the Accountant panics on over-release), a stepper never
+// resurrects an evicted session, and the books drain to zero.
+func TestServeEvictionRace(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	srv, ts := newTestServer(t, Options{Workers: 4, Backlog: 32, IdleTimeout: time.Millisecond, Now: clock})
+	client := ts.Client()
+	spec := SessionSpec{Tenant: "acme", Workload: "lockcontend", Security: "senss"}
+
+	rounds := 20
+	if testing.Short() {
+		rounds = 4
+	}
+	for round := 0; round < rounds; round++ {
+		var info SessionInfo
+		for {
+			code, raw := call(t, client, http.MethodPost, ts.URL+"/v1/sessions", spec, &info)
+			if code == http.StatusTooManyRequests {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if code != http.StatusCreated {
+				t.Fatalf("round %d: create: status %d: %s", round, code, raw)
+			}
+			break
+		}
+		stepURL := ts.URL + "/v1/sessions/" + info.ID + "/step"
+		delURL := ts.URL + "/v1/sessions/" + info.ID
+
+		errs := make(chan error, 16)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 5; j++ {
+					code, err := rawStatus(client, http.MethodPost, stepURL, StepRequest{Cycles: 200})
+					if err != nil {
+						errs <- fmt.Errorf("step: %w", err)
+						return
+					}
+					switch code {
+					case http.StatusOK, http.StatusNotFound, http.StatusTooManyRequests:
+					default:
+						errs <- fmt.Errorf("step: unexpected status %d", code)
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			code, err := rawStatus(client, http.MethodDelete, delURL, nil)
+			if err != nil {
+				errs <- fmt.Errorf("delete: %w", err)
+				return
+			}
+			// 200 = this goroutine won the teardown, 404 = a sweep did.
+			if code != http.StatusOK && code != http.StatusNotFound {
+				errs <- fmt.Errorf("delete: unexpected status %d", code)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 5; j++ {
+				advance(10 * time.Millisecond)
+				srv.Sweep()
+			}
+		}()
+		close(start)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// The session is gone whichever path won; stepping it must 404,
+		// never revive it.
+		if code, _ := rawStatus(client, http.MethodPost, stepURL, StepRequest{Cycles: 200}); code != http.StatusNotFound {
+			t.Fatalf("round %d: step after teardown: status %d, want 404", round, code)
+		}
+	}
+	if n := srv.table.Len(); n != 0 {
+		t.Fatalf("table holds %d sessions after teardown", n)
+	}
+	if got := srv.quota.InUse(); got != 0 {
+		t.Fatalf("groups in use after teardown = %d, want 0", got)
+	}
+}
+
 // TestServeOverload saturates the pool (one worker, no backlog) and
 // checks the 429 + Retry-After backpressure contract on create.
 func TestServeOverload(t *testing.T) {

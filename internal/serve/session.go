@@ -60,12 +60,17 @@ type Hosted struct {
 	Spec   SessionSpec
 	groups int // quota units held until close
 
-	mu        sync.Mutex
-	drv       *driver.Session
-	state     State
-	steps     uint64
+	mu sync.Mutex
+	//senss-lint:guardedby mu
+	drv *driver.Session
+	//senss-lint:guardedby mu
+	state State
+	//senss-lint:guardedby mu
+	steps uint64
+	//senss-lint:guardedby mu
 	lastTouch time.Time
-	finalErr  string
+	//senss-lint:guardedby mu
+	finalErr string
 }
 
 // newHosted wraps a started driver session.
@@ -83,6 +88,8 @@ func newHosted(id string, spec SessionSpec, drv *driver.Session, now time.Time) 
 
 // step advances the simulation one bounded slice and folds the outcome
 // into the session state.
+//
+//senss-lint:ignore lockguard holding h.mu across drv.Step is the design: the per-session mutex serializes simulation slices so the sim core stays single-goroutine deterministic; blocking is bounded by the step cycle budget
 func (h *Hosted) step(cycles uint64, now time.Time) (StepResponse, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -207,6 +214,8 @@ func (h *Hosted) stateNow() State {
 // close tears the session down (abort + zeroize via driver.Close) and
 // reports whether this call performed the teardown — the caller that
 // wins releases the quota.
+//
+//senss-lint:ignore lockguard holding h.mu across drv.Close is the design: teardown must exclude concurrent steps so zeroize-once is guaranteed, and the abort handshake it blocks on is bounded by one engine dispatch
 func (h *Hosted) close() bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -25,11 +25,14 @@ type Table struct {
 
 type tableShard struct {
 	mu sync.Mutex
-	m  map[string]*Hosted
+	//senss-lint:guardedby mu
+	m map[string]*Hosted
 }
 
 // NewTable builds a table with n shards (<= 0 selects DefaultShards,
 // values are rounded up to a power of two so shard selection is a mask).
+//
+//senss-lint:ignore lockguard construction: the table has not escaped NewTable yet, so no other goroutine can observe the shard maps being seeded
 func NewTable(n int) *Table {
 	if n <= 0 {
 		n = DefaultShards
