@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"senss/internal/lint"
+)
+
+func TestZZProbeDeferredClosureUnlock(t *testing.T) {
+	loader := newLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("/tmp", "lockprobe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lint.AnalyzerLockguard()
+	a.Scope = nil
+	for _, d := range lint.RunAnalyzers([]*lint.Analyzer{a}, []*lint.Package{pkg}) {
+		t.Errorf("finding: %s", d)
+	}
+}
